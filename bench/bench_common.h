@@ -1,0 +1,81 @@
+// Shared infrastructure for the paper-reproduction benchmark harnesses.
+//
+// Every binary reproduces one table or figure of the paper (see DESIGN.md §5
+// and EXPERIMENTS.md). Sizes are laptop-scaled: the paper's GB-scale corpora
+// map to MB-scale synthetic corpora at the same memory:string ratios. Each
+// harness prints the paper's rows plus two time columns:
+//   wall(s)     measured wall-clock seconds (page-cache-backed I/O)
+//   modeled(s)  wall + DiskModel-priced I/O events (the disk-bound component
+//               the paper's testbed measured; see io/io_stats.h)
+// ERA_BENCH_SCALE=<float> multiplies all string sizes and memory budgets.
+
+#ifndef ERA_BENCH_BENCH_COMMON_H_
+#define ERA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "era/era_builder.h"
+#include "io/io_stats.h"
+#include "text/corpus.h"
+
+namespace era {
+namespace bench {
+
+/// Global scale factor from ERA_BENCH_SCALE (default 1.0).
+double ScaleFactor();
+
+/// `base` bytes scaled by ScaleFactor() (rounded to 4 KB).
+uint64_t Scaled(uint64_t base);
+
+/// Directory for benchmark corpora and work dirs (created on demand).
+std::string BenchDataDir();
+
+/// Materializes (or reuses) a corpus of `body_length` symbols.
+TextInfo MakeCorpus(CorpusKind kind, uint64_t body_length, uint64_t seed = 7);
+
+/// Fresh work dir under BenchDataDir(); wiped lazily by reuse.
+std::string WorkDir(const std::string& tag);
+
+/// Default build options for benchmarks (posix env, given budget).
+BuildOptions BenchOptions(uint64_t memory_budget, const std::string& tag);
+
+/// One result row.
+struct Row {
+  std::vector<std::string> cells;
+};
+
+/// Fixed-width table printer (paper-style series).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(const std::vector<std::string>& cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Formats seconds/bytes/ratios compactly.
+std::string Secs(double s);
+std::string Mib(uint64_t bytes);
+std::string Num(uint64_t v);
+std::string Ratio(double r);
+
+/// Wall + modeled seconds for a finished build.
+struct Timing {
+  double wall = 0;
+  double modeled = 0;
+};
+Timing TimingOf(const BuildStats& stats);
+
+/// The disk model used by every harness (100 MB/s, 8 ms seeks).
+const DiskModel& BenchDiskModel();
+
+}  // namespace bench
+}  // namespace era
+
+#endif  // ERA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,84 @@
+// Figure 12: shared-memory/shared-disk strong scalability, 1-8 cores, total
+// memory fixed and divided equally among cores.
+//   (a) genome-like corpus: ERA-No-Seek vs WaveFront;
+//   (b) larger DNA corpus: adds ERA-With-Seek (the disk-seek optimization
+//       helps at low core counts and hurts at 8 — asynchronous workers make
+//       the disk head thrash).
+// Expected shape: ERA >= 1.5x faster than WF through 4 cores, flattening at
+// 8 (per-core memory shrinks, interference grows).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "era/parallel_builder.h"
+
+namespace era {
+namespace bench {
+namespace {
+
+double RunOnce(const TextInfo& text, uint64_t total_budget, unsigned cores,
+               ParallelAlgorithm algo, bool seek_optimization,
+               const std::string& tag) {
+  BuildOptions options = BenchOptions(total_budget, tag);
+  options.seek_optimization = seek_optimization;
+  ParallelBuilder builder(options, cores, algo);
+  auto result = builder.Build(text);
+  if (!result.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  // Modeled time for a shared-disk machine: one disk serves all cores, so
+  // the I/O price is paid serially on top of the parallel wall time.
+  return result->stats.total_seconds +
+         BenchDiskModel().ModeledSeconds(result->stats.io);
+}
+
+void Genome() {
+  const uint64_t n = Scaled(1280 << 10);    // paper: human genome
+  const uint64_t total = Scaled(8 << 20);   // paper: 16 GB
+  TextInfo text = MakeCorpus(CorpusKind::kDna, n);
+  std::printf("Figure 12(a): shared-memory strong scalability, genome-like "
+              "%s, total memory %s\n\n",
+              Mib(n).c_str(), Mib(total).c_str());
+  Table table({"Cores", "WF", "ERA-NoSeek", "WF/ERA"});
+  for (unsigned cores : {1u, 2u, 4u, 8u}) {
+    double wf = RunOnce(text, total, cores, ParallelAlgorithm::kWaveFront,
+                        false, "f12a_wf");
+    double era_time = RunOnce(text, total, cores, ParallelAlgorithm::kEra,
+                              false, "f12a_era");
+    table.AddRow({Num(cores), Secs(wf), Secs(era_time),
+                  Ratio(wf / era_time)});
+  }
+  table.Print();
+}
+
+void LargerDna() {
+  const uint64_t n = Scaled(1536 << 10);    // paper: 4 GBps DNA
+  const uint64_t total = Scaled(8 << 20);   // paper: 16 GB
+  TextInfo text = MakeCorpus(CorpusKind::kDna, n);
+  std::printf("\nFigure 12(b): shared-memory strong scalability, DNA %s, "
+              "total memory %s\n\n",
+              Mib(n).c_str(), Mib(total).c_str());
+  Table table({"Cores", "WF", "ERA-NoSeek", "ERA-WithSeek"});
+  for (unsigned cores : {1u, 2u, 4u, 8u}) {
+    double wf = RunOnce(text, total, cores, ParallelAlgorithm::kWaveFront,
+                        false, "f12b_wf");
+    double no_seek = RunOnce(text, total, cores, ParallelAlgorithm::kEra,
+                             false, "f12b_ns");
+    double with_seek = RunOnce(text, total, cores, ParallelAlgorithm::kEra,
+                               true, "f12b_ws");
+    table.AddRow({Num(cores), Secs(wf), Secs(no_seek), Secs(with_seek)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace era
+
+int main() {
+  era::bench::Genome();
+  era::bench::LargerDna();
+  return 0;
+}

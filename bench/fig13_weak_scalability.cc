@@ -1,0 +1,66 @@
+// Figure 13: shared-nothing weak scalability — string size grows with the
+// node count (paper: 256 MBps/node to 4096 MBps/16 nodes, 1 GB per node).
+// Expected shape: construction time grows linearly with node count for both
+// systems (each node still scans the whole of S), but ERA's slope is much
+// smaller, so the gap widens — 2.5x at the largest size in the paper.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "era/cluster_builder.h"
+
+namespace era {
+namespace bench {
+namespace {
+
+double ModeledCluster(const ClusterBuildResult& result) {
+  double io = 0;
+  for (const IoStats& node : result.node_io) {
+    io = std::max(io, BenchDiskModel().ModeledSeconds(node));
+  }
+  return result.ConstructionSeconds() + io;
+}
+
+void Run() {
+  const uint64_t per_node_string = Scaled(512 << 10);  // paper: 256 MBps
+  const uint64_t per_node_budget = Scaled(2 << 20);    // paper: 1 GB
+  std::printf("Figure 13: shared-nothing weak scalability, %s of DNA per "
+              "node, %s per node\n\n",
+              Mib(per_node_string).c_str(), Mib(per_node_budget).c_str());
+  Table table({"Nodes", "DNA(MiB)", "WF", "ERA", "WF/ERA"});
+  for (unsigned nodes : {1u, 2u, 4u, 6u}) {
+    uint64_t n = per_node_string * nodes;
+    TextInfo text = MakeCorpus(CorpusKind::kDna, n);
+
+    ClusterOptions cluster;
+    cluster.num_nodes = nodes;
+    cluster.per_node_budget = per_node_budget;
+
+    cluster.algorithm = ParallelAlgorithm::kWaveFront;
+    ClusterBuilder wf(BenchOptions(per_node_budget, "f13_wf"), cluster);
+    auto wf_result = wf.Build(text);
+
+    cluster.algorithm = ParallelAlgorithm::kEra;
+    ClusterBuilder era_builder(BenchOptions(per_node_budget, "f13_era"),
+                               cluster);
+    auto era_result = era_builder.Build(text);
+    if (!wf_result.ok() || !era_result.ok()) {
+      std::fprintf(stderr, "build failed\n");
+      std::exit(1);
+    }
+    double wf_time = ModeledCluster(*wf_result);
+    double era_time = ModeledCluster(*era_result);
+    table.AddRow({Num(nodes), Mib(n), Secs(wf_time), Secs(era_time),
+                  Ratio(wf_time / era_time)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace era
+
+int main() {
+  era::bench::Run();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the computational kernels under
+// the paper's algorithms: SA-IS, Kasai LCP, Aho-Corasick scanning,
+// SubTreePrepare, BuildSubTree, Ukkonen, CRC32 and symbol packing.
+
+#include <benchmark/benchmark.h>
+
+#include "alphabet/encoded_string.h"
+#include "common/crc32.h"
+#include "era/build_subtree.h"
+#include "suffixtree/canonical.h"
+#include "era/range_policy.h"
+#include "era/subtree_prepare.h"
+#include "io/mem_env.h"
+#include "io/string_reader.h"
+#include "sa/lcp.h"
+#include "sa/sais.h"
+#include "text/aho_corasick.h"
+#include "text/text_generator.h"
+#include "ukkonen/ukkonen.h"
+
+namespace era {
+namespace {
+
+std::string DnaText(uint64_t n) { return GenerateDna(n, 12345); }
+
+void BM_SaIs(benchmark::State& state) {
+  std::string text = DnaText(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sa = BuildSuffixArray(text);
+    benchmark::DoNotOptimize(sa.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_SaIs)->Arg(64 << 10)->Arg(512 << 10);
+
+void BM_KasaiLcp(benchmark::State& state) {
+  std::string text = DnaText(static_cast<uint64_t>(state.range(0)));
+  auto sa = BuildSuffixArray(text);
+  for (auto _ : state) {
+    auto lcp = BuildLcpArray(text, sa);
+    benchmark::DoNotOptimize(lcp.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_KasaiLcp)->Arg(64 << 10)->Arg(512 << 10);
+
+void BM_AhoCorasickScan(benchmark::State& state) {
+  std::string text = DnaText(1 << 20);
+  MemEnv env;
+  (void)env.WriteFile("/s", text);
+  std::vector<std::string> patterns;
+  for (const char* p : {"ACGT", "TTA", "GGAC", "CACA", "TGTGT"}) {
+    patterns.push_back(p);
+  }
+  auto ac = AhoCorasick::Build(patterns);
+  IoStats stats;
+  auto reader = OpenStringReader(&env, "/s", {}, &stats);
+  uint64_t matches = 0;
+  for (auto _ : state) {
+    (void)ac->ScanAll(reader->get(),
+                      [&](int32_t, uint64_t) { ++matches; });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_AhoCorasickScan);
+
+void BM_SubTreePrepare(benchmark::State& state) {
+  std::string text = DnaText(1 << 20);
+  MemEnv env;
+  (void)env.WriteFile("/s", text);
+  VirtualTree group;
+  group.prefixes = {{"AC", 0}, {"GT", 0}, {"TG", 0}};
+  IoStats stats;
+  for (auto _ : state) {
+    auto reader = OpenStringReader(&env, "/s", {}, &stats);
+    GroupPreparer preparer(group, RangePolicy::Elastic(1 << 20, 4, 4096),
+                           reader->get(), text.size());
+    (void)preparer.Run();
+    benchmark::DoNotOptimize(preparer.results().data());
+  }
+}
+BENCHMARK(BM_SubTreePrepare);
+
+void BM_BuildSubTree(benchmark::State& state) {
+  std::string text = DnaText(1 << 20);
+  SaLcp canon;
+  canon.sa = BuildSuffixArray(text);
+  auto lcp = BuildLcpArray(text, canon.sa);
+  PreparedSubTree prepared;
+  prepared.prefix = "";
+  prepared.leaves = canon.sa;
+  prepared.branches.resize(canon.sa.size());
+  prepared.branches[0].defined = true;
+  for (std::size_t i = 1; i < canon.sa.size(); ++i) {
+    prepared.branches[i].offset = lcp[i];
+    prepared.branches[i].defined = true;
+  }
+  for (auto _ : state) {
+    auto tree = BuildSubTree(prepared, text.size());
+    benchmark::DoNotOptimize(&tree);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(canon.sa.size()));
+}
+BENCHMARK(BM_BuildSubTree);
+
+void BM_Ukkonen(benchmark::State& state) {
+  std::string text = DnaText(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = BuildUkkonenTree(text);
+    benchmark::DoNotOptimize(&tree);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_Ukkonen)->Arg(64 << 10)->Arg(256 << 10);
+
+void BM_Crc32(benchmark::State& state) {
+  std::string data = DnaText(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32);
+
+void BM_EncodedStringExtract(benchmark::State& state) {
+  std::string text = DnaText(1 << 20);
+  auto encoded = EncodedString::Encode(Alphabet::Dna(), text);
+  char buf[64];
+  uint64_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoded->Extract(pos % (1 << 20), 64, buf));
+    pos += 4097;
+  }
+  state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EncodedStringExtract);
+
+}  // namespace
+}  // namespace era
+
+BENCHMARK_MAIN();

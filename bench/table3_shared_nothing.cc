@@ -1,0 +1,110 @@
+// Table 3: shared-nothing strong scalability on the genome-like corpus with
+// a fixed per-node budget (paper: 1 GB per CPU, 1-16 CPUs).
+// Columns mirror the paper: WaveFront time, ERA time, ERA's gain, ERA
+// speed-up normalized at 2 CPUs, and the all-in speed-up including the
+// string transfer and the (serial) vertical partitioning phase.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "era/cluster_builder.h"
+
+namespace era {
+namespace bench {
+namespace {
+
+void Run() {
+  const uint64_t n = Scaled(1280 << 10);         // paper: human genome
+  const uint64_t per_node = Scaled(2 << 20);     // paper: 1 GB per CPU
+  TextInfo text = MakeCorpus(CorpusKind::kDna, n);
+  std::printf("Table 3: shared-nothing strong scalability, genome-like %s, "
+              "%s per node (paper: 1 GB)\n\n",
+              Mib(n).c_str(), Mib(per_node).c_str());
+
+  struct Point {
+    unsigned cpus;
+    double wf = 0;
+    double era = 0;
+    double era_all = 0;
+  };
+  std::vector<Point> points;
+  for (unsigned cpus : {1u, 2u, 4u, 8u, 16u}) {
+    Point p;
+    p.cpus = cpus;
+
+    ClusterOptions cluster;
+    cluster.num_nodes = cpus;
+    cluster.per_node_budget = per_node;
+
+    cluster.algorithm = ParallelAlgorithm::kWaveFront;
+    ClusterBuilder wf(BenchOptions(per_node, "t3_wf"), cluster);
+    auto wf_result = wf.Build(text);
+    if (!wf_result.ok()) {
+      std::fprintf(stderr, "WF failed: %s\n",
+                   wf_result.status().ToString().c_str());
+      std::exit(1);
+    }
+    // Construction-only modeled time (per-node disks: price the busiest
+    // node's I/O).
+    double wf_io = 0;
+    for (const IoStats& io : wf_result->node_io) {
+      wf_io = std::max(wf_io, BenchDiskModel().ModeledSeconds(io));
+    }
+    p.wf = wf_result->ConstructionSeconds() + wf_io;
+
+    cluster.algorithm = ParallelAlgorithm::kEra;
+    ClusterBuilder era_builder(BenchOptions(per_node, "t3_era"), cluster);
+    auto era_result = era_builder.Build(text);
+    if (!era_result.ok()) {
+      std::fprintf(stderr, "ERA failed: %s\n",
+                   era_result.status().ToString().c_str());
+      std::exit(1);
+    }
+    double era_io = 0;
+    for (const IoStats& io : era_result->node_io) {
+      era_io = std::max(era_io, BenchDiskModel().ModeledSeconds(io));
+    }
+    p.era = era_result->ConstructionSeconds() + era_io;
+    p.era_all = p.era + era_result->transfer_seconds +
+                era_result->vertical_seconds;
+    points.push_back(p);
+  }
+
+  // Speed-ups normalized at 2 CPUs, like the paper's table.
+  double era_at_2 = 0;
+  double era_all_at_2 = 0;
+  for (const Point& p : points) {
+    if (p.cpus == 2) {
+      era_at_2 = p.era;
+      era_all_at_2 = p.era_all;
+    }
+  }
+  Table table({"CPU", "WaveFront(s)", "ERA(s)", "Gain", "ERA speedup",
+               "ERA all speedup"});
+  for (const Point& p : points) {
+    double gain = p.wf / p.era;
+    std::string speedup = "-";
+    std::string all_speedup = "-";
+    if (p.cpus >= 2 && era_at_2 > 0) {
+      // Ideal speed-up vs 2 CPUs is (cpus/2); report achieved/ideal like
+      // the paper (1.0 = perfect).
+      double ideal = static_cast<double>(p.cpus) / 2.0;
+      speedup = Ratio((era_at_2 / p.era) / ideal);
+      all_speedup = Ratio((era_all_at_2 / p.era_all) / ideal);
+    }
+    table.AddRow({Num(p.cpus), Secs(p.wf), Secs(p.era), Ratio(gain), speedup,
+                  all_speedup});
+  }
+  table.Print();
+  std::printf("\n(speedup columns are achieved/ideal relative to 2 CPUs; "
+              "1.00x = perfect scaling)\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace era
+
+int main() {
+  era::bench::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "alphabet/alphabet.h"
+
+namespace era {
+
+StatusOr<Alphabet> Alphabet::Create(const std::string& symbols) {
+  if (symbols.empty()) {
+    return Status::InvalidArgument("alphabet must not be empty");
+  }
+  Alphabet a;
+  char prev = '\0';
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    char c = symbols[i];
+    if (i > 0 && c <= prev) {
+      return Status::InvalidArgument(
+          "alphabet symbols must be in strictly ascending order");
+    }
+    if (c >= kTerminal || c < '!') {
+      return Status::InvalidArgument(
+          "alphabet symbols must be printable and below the terminal byte");
+    }
+    a.code_[static_cast<uint8_t>(c)] = static_cast<int16_t>(i);
+    prev = c;
+  }
+  a.symbols_ = symbols;
+  int bits = 1;
+  while ((1 << bits) < static_cast<int>(symbols.size())) ++bits;
+  a.bits_per_symbol_ = bits;
+  return a;
+}
+
+Alphabet Alphabet::Dna() {
+  auto a = Create("ACGT");
+  return *a;
+}
+
+Alphabet Alphabet::Protein() {
+  auto a = Create("ACDEFGHIKLMNPQRSTVWY");
+  return *a;
+}
+
+Alphabet Alphabet::English() {
+  auto a = Create("abcdefghijklmnopqrstuvwxyz");
+  return *a;
+}
+
+Status Alphabet::ValidateText(const std::string& text) const {
+  if (text.empty() || text.back() != kTerminal) {
+    return Status::InvalidArgument("text must end with the terminal byte");
+  }
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (!Contains(text[i])) {
+      return Status::InvalidArgument("text contains byte outside alphabet at " +
+                                     std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace era

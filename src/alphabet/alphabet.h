@@ -1,0 +1,78 @@
+// Alphabet registry and symbol codec.
+//
+// Conventions (chosen to match the paper's worked example, Section 4.2.2):
+//   * Alphabet symbols are printable bytes stored in ascending byte order, so
+//     raw byte comparison of text equals lexicographic symbol comparison.
+//   * The end-of-string terminal is a single byte strictly GREATER than every
+//     alphabet symbol (default '~'), because the paper's traces sort the `$`
+//     branch after all alphabet branches (e.g. B[2] = (G,$,3)).
+// The terminal is appended exactly once, as the last byte of the text file.
+
+#ifndef ERA_ALPHABET_ALPHABET_H_
+#define ERA_ALPHABET_ALPHABET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace era {
+
+/// Terminal byte used by this library ('~' = 0x7E, above all letters/digits).
+inline constexpr char kTerminal = '~';
+
+/// An ordered set of symbols plus the terminal. Value type, cheap to copy.
+class Alphabet {
+ public:
+  /// Builds an alphabet from its symbols. Symbols must be unique, printable,
+  /// in strictly ascending byte order, and below the terminal byte.
+  static StatusOr<Alphabet> Create(const std::string& symbols);
+
+  /// DNA: {A, C, G, T}.
+  static Alphabet Dna();
+  /// 20 standard amino-acid letters.
+  static Alphabet Protein();
+  /// 26 lowercase English letters.
+  static Alphabet English();
+
+  /// Number of symbols (terminal excluded).
+  int size() const { return static_cast<int>(symbols_.size()); }
+  const std::string& symbols() const { return symbols_; }
+  char terminal() const { return kTerminal; }
+
+  /// True iff `c` is an alphabet symbol (terminal excluded).
+  bool Contains(char c) const { return code_[static_cast<uint8_t>(c)] >= 0; }
+
+  /// Symbol -> dense code in [0, size); terminal -> size. Returns -1 for
+  /// bytes outside the alphabet.
+  int Code(char c) const {
+    if (c == kTerminal) return size();
+    return code_[static_cast<uint8_t>(c)];
+  }
+
+  /// Dense code -> symbol; `size()` maps back to the terminal.
+  char Symbol(int code) const {
+    if (code == size()) return kTerminal;
+    return symbols_[static_cast<std::size_t>(code)];
+  }
+
+  /// Bits needed to encode one symbol (terminal excluded), e.g. 2 for DNA,
+  /// 5 for protein/English — the encodings Section 6.1 of the paper uses.
+  int bits_per_symbol() const { return bits_per_symbol_; }
+
+  /// Validates that `text` consists of alphabet symbols with exactly one
+  /// terminal, as its final byte.
+  Status ValidateText(const std::string& text) const;
+
+ private:
+  Alphabet() { code_.fill(-1); }
+
+  std::string symbols_;
+  std::array<int16_t, 256> code_;
+  int bits_per_symbol_ = 0;
+};
+
+}  // namespace era
+
+#endif  // ERA_ALPHABET_ALPHABET_H_

@@ -1,0 +1,34 @@
+#include "alphabet/encoded_string.h"
+
+namespace era {
+
+StatusOr<EncodedString> EncodedString::Encode(const Alphabet& alphabet,
+                                              const std::string& text) {
+  ERA_RETURN_NOT_OK(alphabet.ValidateText(text));
+  uint64_t body = text.size() - 1;  // terminal excluded
+  int bits = alphabet.bits_per_symbol();
+  EncodedString out(alphabet, body, bits);
+  out.words_.assign((body * bits + 63) / 64 + 1, 0);
+  for (uint64_t i = 0; i < body; ++i) {
+    uint64_t code = static_cast<uint64_t>(alphabet.Code(text[i]));
+    uint64_t bit = i * bits;
+    uint64_t word = bit >> 6;
+    unsigned shift = static_cast<unsigned>(bit & 63);
+    out.words_[word] |= code << shift;
+    if (shift + bits > 64) {
+      out.words_[word + 1] |= code >> (64 - shift);
+    }
+  }
+  return out;
+}
+
+uint32_t EncodedString::Extract(uint64_t pos, uint32_t len, char* out) const {
+  uint32_t produced = 0;
+  while (produced < len && pos + produced < size()) {
+    out[produced] = At(pos + produced);
+    ++produced;
+  }
+  return produced;
+}
+
+}  // namespace era

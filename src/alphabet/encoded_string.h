@@ -1,0 +1,69 @@
+// Bit-packed in-memory string.
+//
+// Section 6.1 of the paper notes that DNA is kept at 2 bits/symbol and
+// protein/English at 5 bits/symbol, which determines how much of S fits in
+// RAM for the semi-disk-based competitor (TRELLIS). EncodedString packs the
+// body of the text (terminal excluded); At(size()) returns the terminal.
+
+#ifndef ERA_ALPHABET_ENCODED_STRING_H_
+#define ERA_ALPHABET_ENCODED_STRING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+
+namespace era {
+
+/// Immutable bit-packed text. Build once via Encode(), then random-access.
+class EncodedString {
+ public:
+  /// Packs `text` (which must validate against `alphabet`, i.e. end with the
+  /// terminal).
+  static StatusOr<EncodedString> Encode(const Alphabet& alphabet,
+                                        const std::string& text);
+
+  /// Number of addressable positions, including the final terminal.
+  uint64_t size() const { return body_length_ + 1; }
+
+  /// Symbol at position i; size()-1 yields the terminal.
+  char At(uint64_t i) const {
+    if (i >= body_length_) return kTerminal;
+    uint64_t bit = i * bits_;
+    uint64_t word = bit >> 6;
+    unsigned shift = static_cast<unsigned>(bit & 63);
+    uint64_t value = words_[word] >> shift;
+    if (shift + bits_ > 64) {
+      value |= words_[word + 1] << (64 - shift);
+    }
+    return alphabet_.Symbol(static_cast<int>(value & mask_));
+  }
+
+  /// Decodes [pos, pos+len) into `out`; clamps at the end of the string.
+  /// Returns the number of symbols produced.
+  uint32_t Extract(uint64_t pos, uint32_t len, char* out) const;
+
+  /// Bytes of heap memory used by the packed representation.
+  uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  const Alphabet& alphabet() const { return alphabet_; }
+
+ private:
+  EncodedString(const Alphabet& alphabet, uint64_t body_length, int bits)
+      : alphabet_(alphabet),
+        body_length_(body_length),
+        bits_(bits),
+        mask_((1u << bits) - 1) {}
+
+  Alphabet alphabet_;
+  uint64_t body_length_;
+  int bits_;
+  uint64_t mask_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace era
+
+#endif  // ERA_ALPHABET_ENCODED_STRING_H_

@@ -1,0 +1,53 @@
+// B2ST baseline (Barsky, Stege, Thomo, Upton, CIKM 2009 — reference [2]).
+//
+// The suffix-array route to an out-of-core suffix tree, as this paper's
+// Section 3 describes it:
+//   1. Split S into partitions sized so a partition's suffix array fits in
+//      memory; build each with SA-IS (plus a bounded look-ahead context) and
+//      spill it to disk — the large temporary results the paper calls out.
+//   2. K-way merge the partition suffix arrays. Order decisions that the
+//      look-ahead context cannot settle are resolved by comparing the
+//      suffixes directly from disk through buffered readers (the original
+//      resolves these with pairwise order arrays; same information, same
+//      asymptotics, far more I/O when memory is small — the O(n^2/M)
+//      degradation in the paper's complexity discussion).
+//   3. Cut the merged (SA, LCP) stream into bounded sub-trees and build each
+//      in batch (the construction-at-the-end property that makes B2ST cache
+//      friendly).
+//
+// B2ST has no prefix-routed trie; its output is an ordered forest manifest.
+
+#ifndef ERA_B2ST_B2ST_H_
+#define ERA_B2ST_B2ST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "era/era_builder.h"
+#include "text/corpus.h"
+
+namespace era {
+
+/// Output manifest: sub-tree files in global lexicographic order.
+struct B2stResult {
+  std::vector<std::string> subtree_files;  // relative to work_dir
+  std::string work_dir;
+  BuildStats stats;
+};
+
+/// Out-of-core suffix-array-merge builder.
+class B2stBuilder {
+ public:
+  explicit B2stBuilder(const BuildOptions& options) : options_(options) {}
+
+  StatusOr<B2stResult> Build(const TextInfo& text);
+
+ private:
+  BuildOptions options_;
+};
+
+}  // namespace era
+
+#endif  // ERA_B2ST_B2ST_H_

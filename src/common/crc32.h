@@ -1,0 +1,16 @@
+// CRC-32 (IEEE) used to detect corruption in serialized sub-trees.
+
+#ifndef ERA_COMMON_CRC32_H_
+#define ERA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace era {
+
+/// Computes CRC-32 (IEEE polynomial) of `data[0, n)`. `seed` allows chaining.
+uint32_t Crc32(const void* data, std::size_t n, uint32_t seed = 0);
+
+}  // namespace era
+
+#endif  // ERA_COMMON_CRC32_H_

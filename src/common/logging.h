@@ -1,0 +1,48 @@
+// Minimal leveled logger. Library code logs sparingly (warnings and above);
+// benchmarks and examples may raise the level for progress reporting.
+
+#ifndef ERA_COMMON_LOGGING_H_
+#define ERA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace era {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted (default kWarn).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects a single message and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace era
+
+#define ERA_LOG(level)                                             \
+  ::era::internal::LogMessage(::era::LogLevel::k##level, __FILE__, \
+                              __LINE__)
+
+#endif  // ERA_COMMON_LOGGING_H_

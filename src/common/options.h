@@ -1,0 +1,86 @@
+// Build configuration shared by all construction algorithms.
+
+#ifndef ERA_COMMON_OPTIONS_H_
+#define ERA_COMMON_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace era {
+
+class Env;
+
+/// How SubTreePrepare chooses the per-iteration range of prefetched symbols
+/// (Section 4.4).
+enum class RangePolicyKind {
+  /// range = |R| / (active leaves): grows as leaves resolve (the paper's
+  /// elastic range).
+  kElastic,
+  /// A constant range regardless of |R| (the static 16/32-symbol baselines of
+  /// Figure 9(b)).
+  kFixed,
+};
+
+/// Which horizontal-partitioning method builds each sub-tree (Figure 7).
+enum class HorizontalMethod {
+  /// SubTreePrepare + BuildSubTree (Section 4.2.2, "ERA-str+mem").
+  kPrepareBuild,
+  /// ComputeSuffixSubTree / BranchEdge (Section 4.2.1, "ERA-str").
+  kBranchEdge,
+};
+
+/// Memory and behavior knobs for a build. The defaults are laptop-scaled
+/// versions of the paper's settings; all experiments override them per sweep.
+struct BuildOptions {
+  /// Total memory the builder may use for tree + processing + buffers.
+  uint64_t memory_budget = 64ull << 20;
+
+  /// Read-ahead buffer R for next-symbol ranges; 0 = auto (Figure 8's tuned
+  /// values, scaled: budget/16 clamped to [64 KB, 32 MB] for 4-symbol
+  /// alphabets and [256 KB, 256 MB] for larger ones).
+  uint64_t r_buffer_bytes = 0;
+
+  /// Input buffer B_S (the paper uses 1 MB).
+  uint64_t input_buffer_bytes = 1 << 20;
+
+  /// Group sub-trees into virtual trees to share scans (Section 4.1).
+  bool group_virtual_trees = true;
+
+  /// Horizontal partitioning method (Section 4.2 / Figure 7).
+  HorizontalMethod horizontal = HorizontalMethod::kPrepareBuild;
+
+  /// Elastic vs fixed prefetch range (Section 4.4 / Figure 9(b)).
+  RangePolicyKind range_policy = RangePolicyKind::kElastic;
+  /// Range used when range_policy == kFixed.
+  uint32_t fixed_range = 32;
+
+  /// Lower/upper clamps for the elastic range.
+  uint32_t min_range = 4;
+  uint32_t max_range = 64 << 10;
+
+  /// Skip unneeded blocks with a seek during scans (Section 4.4).
+  bool seek_optimization = true;
+
+  /// Directory that receives serialized sub-trees and the index manifest.
+  std::string work_dir;
+
+  /// Filesystem; nullptr = process-wide POSIX Env.
+  Env* env = nullptr;
+
+  /// Resolved Env (never null).
+  Env* GetEnv() const;
+};
+
+/// Checks internal consistency (budget large enough for the fixed areas,
+/// non-empty work_dir, sane range clamps).
+Status ValidateBuildOptions(const BuildOptions& options);
+
+/// Resolves r_buffer_bytes: explicit value, or the alphabet-dependent auto
+/// rule described on BuildOptions::r_buffer_bytes.
+uint64_t ResolveRBufferBytes(const BuildOptions& options, int alphabet_size);
+
+}  // namespace era
+
+#endif  // ERA_COMMON_OPTIONS_H_

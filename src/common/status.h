@@ -1,0 +1,136 @@
+// Status and StatusOr: exception-free error propagation for the ERA library.
+//
+// The library follows the RocksDB/Arrow convention: fallible operations return
+// a Status (or StatusOr<T> when they also produce a value), and callers are
+// expected to check it. No exceptions are thrown by library code.
+
+#ifndef ERA_COMMON_STATUS_H_
+#define ERA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace era {
+
+/// Outcome of a fallible operation. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kIOError,
+    kCorruption,
+    kNotSupported,
+    kOutOfBudget,
+    kInternal,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  /// The requested operation would exceed the configured memory budget.
+  static Status OutOfBudget(std::string msg) {
+    return Status(Code::kOutOfBudget, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfBudget() const { return code_ == Code::kOutOfBudget; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string, e.g. "IOError: open failed".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// A Status or a value of type T. Dereferencing a non-OK StatusOr asserts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use StatusOr(T) for OK results");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace era
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// Status.
+#define ERA_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::era::Status _s = (expr);              \
+    if (!_s.ok()) return _s;                \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors and otherwise binding
+/// the value to `lhs`.
+#define ERA_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto ERA_CONCAT_(_sor_, __LINE__) = (expr);            \
+  if (!ERA_CONCAT_(_sor_, __LINE__).ok())                \
+    return ERA_CONCAT_(_sor_, __LINE__).status();        \
+  lhs = std::move(ERA_CONCAT_(_sor_, __LINE__)).value()
+
+#define ERA_CONCAT_(a, b) ERA_CONCAT_IMPL_(a, b)
+#define ERA_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ERA_COMMON_STATUS_H_

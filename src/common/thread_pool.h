@@ -1,0 +1,52 @@
+// Fixed-size worker pool used by the shared-memory parallel builders.
+
+#ifndef ERA_COMMON_THREAD_POOL_H_
+#define ERA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace era {
+
+/// A fixed pool of worker threads draining a FIFO task queue.
+///
+/// Tasks are arbitrary void() callables. WaitIdle() blocks until the queue is
+/// empty and all workers are idle, which is how builders implement a barrier
+/// at the end of a construction phase.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace era
+
+#endif  // ERA_COMMON_THREAD_POOL_H_

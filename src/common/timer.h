@@ -1,0 +1,30 @@
+// Wall-clock timing helper used by builders and benchmarks.
+
+#ifndef ERA_COMMON_TIMER_H_
+#define ERA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace era {
+
+/// Measures elapsed wall-clock time in seconds since construction or the last
+/// Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace era
+
+#endif  // ERA_COMMON_TIMER_H_

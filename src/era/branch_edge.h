@@ -1,0 +1,78 @@
+// ERA-str: Algorithms ComputeSuffixSubTree / BranchEdge (Section 4.2.1).
+//
+// The string-access-optimized horizontal partitioning: the sub-tree is grown
+// level by level, one merged sequential scan of S per iteration, reading a
+// range of symbols per unresolved branch. Unlike SubTreePrepare/BuildSubTree
+// (Section 4.2.2), the tree is updated *during* the scan loop — the paper
+// measures this as significantly slower due to scattered memory accesses
+// (Figure 7), which is exactly what this implementation exhibits.
+
+#ifndef ERA_ERA_BRANCH_EDGE_H_
+#define ERA_ERA_BRANCH_EDGE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "era/range_policy.h"
+#include "era/vertical_partitioner.h"
+#include "io/string_reader.h"
+#include "suffixtree/tree_buffer.h"
+
+namespace era {
+
+/// Counters for one group's ERA-str construction.
+struct StrBuildStats {
+  uint32_t rounds = 0;
+  uint64_t symbols_fetched = 0;
+};
+
+/// Builds every sub-tree of a virtual tree with the iterative BranchEdge
+/// method, sharing each scan of S across the whole group (optimization 3 of
+/// Section 4.2.1).
+class GroupStrBuilder {
+ public:
+  GroupStrBuilder(const VirtualTree& group, const RangePolicy& policy,
+                  StringReader* reader, uint64_t text_length);
+
+  Status Run();
+
+  /// (prefix, sub-tree) pairs in group order. Valid after Run().
+  std::vector<std::pair<std::string, TreeBuffer>>& results() {
+    return results_;
+  }
+  const StrBuildStats& stats() const { return stats_; }
+
+ private:
+  /// An edge still being extended/branched, with the suffix occurrences
+  /// whose paths run through it.
+  struct OpenEdge {
+    uint32_t node = 0;
+    uint64_t depth = 0;  // string depth at the edge's lower end
+    std::vector<uint64_t> positions;
+  };
+
+  struct State {
+    std::string prefix;
+    TreeBuffer tree;
+    std::vector<OpenEdge> open;
+  };
+
+  /// Turns `node` into the leaf for suffix `pos` (extends the edge label to
+  /// the end of the string).
+  void CloseLeaf(State* state, uint32_t node, uint64_t parent_depth,
+                 uint64_t pos);
+
+  const VirtualTree& group_;
+  RangePolicy policy_;
+  StringReader* reader_;
+  uint64_t text_length_;
+  std::vector<State> states_;
+  std::vector<std::pair<std::string, TreeBuffer>> results_;
+  StrBuildStats stats_;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_BRANCH_EDGE_H_

@@ -1,0 +1,141 @@
+#include "era/era_builder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/timer.h"
+#include "era/branch_edge.h"
+#include "era/build_subtree.h"
+#include "era/range_policy.h"
+#include "era/subtree_prepare.h"
+#include "suffixtree/serializer.h"
+
+namespace era {
+
+std::string BuildStats::ToString() const {
+  std::ostringstream os;
+  os << "total=" << total_seconds << "s (vertical=" << vertical_seconds
+     << "s horizontal=" << horizontal_seconds << "s) fm=" << fm
+     << " groups=" << num_groups << " subtrees=" << num_subtrees
+     << " rounds=" << prepare_rounds << " peak_tree=" << peak_tree_bytes
+     << "B io{" << io.ToString() << "}";
+  return os.str();
+}
+
+Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
+                    const MemoryLayout& layout, const VirtualTree& group,
+                    uint64_t group_id, StringReader* reader,
+                    GroupOutput* out) {
+  Env* env = options.GetEnv();
+  RangePolicy policy = RangePolicy::FromOptions(options, layout.r_buffer_bytes);
+  IoStats* write_stats = &out->write_io;
+
+  if (options.horizontal == HorizontalMethod::kBranchEdge) {
+    GroupStrBuilder builder(group, policy, reader, text.length);
+    ERA_RETURN_NOT_OK(builder.Run());
+    out->rounds = builder.stats().rounds;
+    uint64_t tree_bytes = 0;
+    for (std::size_t k = 0; k < builder.results().size(); ++k) {
+      auto& [prefix, tree] = builder.results()[k];
+      tree_bytes += tree.MemoryBytes();
+      std::string filename = "st_" + std::to_string(group_id) + "_" +
+                             std::to_string(k) + ".bin";
+      ERA_RETURN_NOT_OK(WriteSubTree(env, options.work_dir + "/" + filename,
+                                     prefix, tree, write_stats));
+      out->subtrees.push_back(
+          {prefix, group.prefixes[k].frequency, filename});
+    }
+    out->tree_bytes = tree_bytes;
+  } else {
+    GroupPreparer preparer(group, policy, reader, text.length);
+    ERA_RETURN_NOT_OK(preparer.Run());
+    out->rounds = preparer.stats().rounds;
+    uint64_t tree_bytes = 0;
+    for (std::size_t k = 0; k < preparer.results().size(); ++k) {
+      PreparedSubTree& prepared = preparer.results()[k];
+      ERA_ASSIGN_OR_RETURN(TreeBuffer tree,
+                           BuildSubTree(prepared, text.length));
+      tree_bytes += tree.MemoryBytes();
+      std::string filename = "st_" + std::to_string(group_id) + "_" +
+                             std::to_string(k) + ".bin";
+      ERA_RETURN_NOT_OK(WriteSubTree(env, options.work_dir + "/" + filename,
+                                     prepared.prefix, tree, write_stats));
+      out->subtrees.push_back(
+          {prepared.prefix, static_cast<uint64_t>(prepared.leaves.size()),
+           filename});
+    }
+    out->tree_bytes = tree_bytes;
+  }
+  return Status::OK();
+}
+
+StatusOr<TreeIndex> AssembleIndex(const TextInfo& text,
+                                  const BuildOptions& options,
+                                  const PartitionPlan& plan,
+                                  const std::vector<GroupOutput>& outputs) {
+  TreeIndex index;
+  index.SetText(text);
+  for (const GroupOutput& output : outputs) {
+    for (const auto& sub : output.subtrees) {
+      uint32_t id = index.AddSubTree(sub.prefix, sub.frequency, sub.filename);
+      ERA_RETURN_NOT_OK(
+          index.mutable_trie().InsertSubTree(sub.prefix, id, sub.frequency));
+    }
+  }
+  for (const auto& [prefix, position] : plan.terminal_leaves) {
+    ERA_RETURN_NOT_OK(
+        index.mutable_trie().InsertTerminalLeaf(prefix, position));
+  }
+  ERA_RETURN_NOT_OK(index.Save(options.GetEnv(), options.work_dir));
+  ERA_ASSIGN_OR_RETURN(TreeIndex loaded,
+                       TreeIndex::Load(options.GetEnv(), options.work_dir));
+  return loaded;
+}
+
+StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
+  WallTimer total_timer;
+  ERA_RETURN_NOT_OK(ValidateBuildOptions(options_));
+  ERA_RETURN_NOT_OK(options_.GetEnv()->CreateDir(options_.work_dir));
+
+  BuildStats stats;
+  ERA_ASSIGN_OR_RETURN(MemoryLayout layout,
+                       PlanMemory(options_, text.alphabet.size()));
+  stats.fm = layout.fm;
+
+  ERA_ASSIGN_OR_RETURN(PartitionPlan plan,
+                       VerticalPartition(text, options_, layout.fm));
+  stats.vertical_seconds = plan.seconds;
+  stats.io.Add(plan.io);
+  stats.num_groups = plan.groups.size();
+  stats.num_subtrees = plan.NumSubTrees();
+
+  WallTimer horizontal_timer;
+  StringReaderOptions reader_options;
+  reader_options.buffer_bytes = options_.input_buffer_bytes;
+  reader_options.seek_optimization = options_.seek_optimization;
+  IoStats scan_stats;
+  ERA_ASSIGN_OR_RETURN(auto reader,
+                       OpenStringReader(options_.GetEnv(), text.path,
+                                        reader_options, &scan_stats));
+
+  std::vector<GroupOutput> outputs(plan.groups.size());
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    ERA_RETURN_NOT_OK(ProcessGroup(text, options_, layout, plan.groups[g], g,
+                                   reader.get(), &outputs[g]));
+    stats.prepare_rounds += outputs[g].rounds;
+    stats.peak_tree_bytes =
+        std::max(stats.peak_tree_bytes, outputs[g].tree_bytes);
+    stats.io.Add(outputs[g].write_io);
+  }
+  stats.io.Add(scan_stats);
+  stats.horizontal_seconds = horizontal_timer.Seconds();
+
+  BuildResult result;
+  ERA_ASSIGN_OR_RETURN(result.index,
+                       AssembleIndex(text, options_, plan, outputs));
+  stats.total_seconds = total_timer.Seconds();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace era

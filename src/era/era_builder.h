@@ -1,0 +1,91 @@
+// Serial ERA driver (Section 4): vertical partitioning, then per virtual
+// tree SubTreePrepare + BuildSubTree (or BranchEdge), serialization, and
+// assembly of the final index behind the top-level trie.
+
+#ifndef ERA_ERA_ERA_BUILDER_H_
+#define ERA_ERA_ERA_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "era/memory_layout.h"
+#include "era/vertical_partitioner.h"
+#include "io/string_reader.h"
+#include "suffixtree/tree_index.h"
+#include "text/corpus.h"
+
+namespace era {
+
+/// Timing and resource counters of one build.
+struct BuildStats {
+  double total_seconds = 0;
+  double vertical_seconds = 0;
+  double horizontal_seconds = 0;
+  IoStats io;
+  uint64_t fm = 0;
+  uint64_t num_groups = 0;
+  uint64_t num_subtrees = 0;
+  uint64_t prepare_rounds = 0;    // sum over groups
+  uint64_t peak_tree_bytes = 0;   // max per-group in-memory tree footprint
+
+  /// Wall time plus the disk model's price for the recorded I/O (see
+  /// io/io_stats.h for why benchmarks report this alongside raw wall time).
+  double ModeledSeconds(const DiskModel& disk) const {
+    return total_seconds + disk.ModeledSeconds(io);
+  }
+
+  std::string ToString() const;
+};
+
+/// A finished build: the on-disk index plus its statistics.
+struct BuildResult {
+  TreeIndex index;
+  BuildStats stats;
+};
+
+/// Output of processing one virtual tree (used by serial and parallel
+/// drivers alike).
+struct GroupOutput {
+  struct SubTreeOut {
+    std::string prefix;
+    uint64_t frequency = 0;
+    std::string filename;
+  };
+  std::vector<SubTreeOut> subtrees;
+  uint32_t rounds = 0;
+  uint64_t tree_bytes = 0;  // peak in-memory sub-tree bytes for the group
+  IoStats write_io;         // serialization traffic (merged by the driver)
+};
+
+/// Builds all sub-trees of `group`, writes them under `options.work_dir`
+/// with filenames `st_<group_id>_<k>`, and reports what was written.
+/// `reader` supplies the (instrumented) scans of S.
+Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
+                    const MemoryLayout& layout, const VirtualTree& group,
+                    uint64_t group_id, StringReader* reader,
+                    GroupOutput* out);
+
+/// Assembles a TreeIndex from per-group outputs plus the partition plan's
+/// direct trie leaves, and saves its manifest into `options.work_dir`.
+StatusOr<TreeIndex> AssembleIndex(const TextInfo& text,
+                                  const BuildOptions& options,
+                                  const PartitionPlan& plan,
+                                  const std::vector<GroupOutput>& outputs);
+
+/// The serial ERA builder (Section 4).
+class EraBuilder {
+ public:
+  explicit EraBuilder(const BuildOptions& options) : options_(options) {}
+
+  /// Builds the suffix-tree index of `text`.
+  StatusOr<BuildResult> Build(const TextInfo& text);
+
+ private:
+  BuildOptions options_;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_ERA_BUILDER_H_

@@ -1,0 +1,71 @@
+#include "era/memory_layout.h"
+
+#include <algorithm>
+
+namespace era {
+
+StatusOr<MemoryLayout> PlanMemory(const BuildOptions& options,
+                                  int alphabet_size) {
+  ERA_RETURN_NOT_OK(ValidateBuildOptions(options));
+  MemoryLayout layout;
+  // B_S shrinks for small budgets so buffers never crowd out the tree area.
+  layout.input_buffer_bytes = std::clamp<uint64_t>(
+      options.memory_budget / 8, 4096, options.input_buffer_bytes);
+  layout.r_buffer_bytes = ResolveRBufferBytes(options, alphabet_size);
+  if (options.r_buffer_bytes == 0) {
+    // Auto-sized R must not eat the whole budget at small scales. An
+    // explicitly configured R is honored; if it does not fit, the budget
+    // check below reports the configuration error.
+    layout.r_buffer_bytes =
+        std::min(layout.r_buffer_bytes, options.memory_budget / 4);
+  }
+  layout.trie_bytes = std::min<uint64_t>(1 << 20, options.memory_budget / 16);
+
+  uint64_t fixed = layout.input_buffer_bytes + layout.r_buffer_bytes +
+                   layout.trie_bytes;
+  if (fixed + (1 << 12) > options.memory_budget) {
+    return Status::OutOfBudget(
+        "memory budget too small for buffers and trie");
+  }
+  uint64_t remaining = options.memory_budget - fixed;
+  layout.tree_area_bytes = remaining * 6 / 10;
+  layout.processing_bytes = remaining - layout.tree_area_bytes;
+
+  layout.fm = std::min(layout.tree_area_bytes / kTreeBytesPerLeaf,
+                       layout.processing_bytes / kProcessingBytesPerLeaf);
+  if (layout.fm < 2) {
+    return Status::OutOfBudget("memory budget yields FM < 2");
+  }
+  return layout;
+}
+
+StatusOr<MemoryLayout> PlanMemoryWaveFront(const BuildOptions& options,
+                                           int alphabet_size) {
+  ERA_RETURN_NOT_OK(ValidateBuildOptions(options));
+  MemoryLayout layout;
+  // Per the paper: for optimum performance WaveFront's two block-nested-loop
+  // buffers occupy roughly 50% of the available memory.
+  uint64_t buffers = options.memory_budget / 2;
+  layout.input_buffer_bytes = buffers / 2;
+  layout.r_buffer_bytes = buffers - layout.input_buffer_bytes;
+  layout.trie_bytes = std::min<uint64_t>(1 << 20, options.memory_budget / 16);
+  (void)alphabet_size;
+
+  uint64_t fixed = buffers + layout.trie_bytes;
+  if (fixed + (1 << 12) > options.memory_budget) {
+    return Status::OutOfBudget(
+        "memory budget too small for WaveFront buffers");
+  }
+  uint64_t remaining = options.memory_budget - fixed;
+  // WaveFront builds the tree in place while inserting; its per-leaf
+  // processing state (the suffix queue) is part of the tree area.
+  layout.tree_area_bytes = remaining;
+  layout.processing_bytes = 0;
+  layout.fm = layout.tree_area_bytes / (kTreeBytesPerLeaf + 8);
+  if (layout.fm < 2) {
+    return Status::OutOfBudget("memory budget yields FM < 2");
+  }
+  return layout;
+}
+
+}  // namespace era

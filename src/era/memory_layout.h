@@ -1,0 +1,61 @@
+// Memory allocation plan (Figure 6 of the paper).
+//
+// ERA divides the budget into: the retrieved-data area (input buffer B_S, the
+// next-symbol buffer R, a small trie area), the suffix-tree area MTS (~60% of
+// what remains), and the processing area (arrays L and B, ~40%). I, A and P
+// live inside the tree area: they are only needed by SubTreePrepare, and
+// BuildSubTree — which is what fills the tree area — runs afterwards and only
+// needs L and B, so the regions can safely overlap.
+//
+// FM (Equation 1) is MTS / (2 * sizeof(TreeNode)), further constrained by the
+// per-leaf processing footprint.
+
+#ifndef ERA_ERA_MEMORY_LAYOUT_H_
+#define ERA_ERA_MEMORY_LAYOUT_H_
+
+#include <cstdint>
+
+#include "common/options.h"
+#include "common/status.h"
+
+namespace era {
+
+/// Resolved allocation of one builder's memory budget.
+struct MemoryLayout {
+  uint64_t input_buffer_bytes = 0;  // B_S
+  uint64_t r_buffer_bytes = 0;      // R
+  uint64_t trie_bytes = 0;          // top-level trie area
+  uint64_t tree_area_bytes = 0;     // MTS (sub-tree nodes; hosts I/A/P too)
+  uint64_t processing_bytes = 0;    // L + B
+  /// Maximum sub-tree frequency that fits (Equation 1 + processing bound).
+  uint64_t fm = 0;
+
+  uint64_t total() const {
+    return input_buffer_bytes + r_buffer_bytes + trie_bytes +
+           tree_area_bytes + processing_bytes;
+  }
+};
+
+/// Per-leaf footprint in the processing area: L (8 bytes) + B (16 bytes) +
+/// elastic-range slack for R bookkeeping (8 bytes).
+inline constexpr uint64_t kProcessingBytesPerLeaf = 32;
+
+/// Per-leaf footprint in the tree area: 2 nodes of 32 bytes (the paper's
+/// 2 * f_p * sizeof(tree node)); I/A/P (24 bytes/leaf) overlap this and are
+/// strictly smaller, so they do not constrain FM.
+inline constexpr uint64_t kTreeBytesPerLeaf = 64;
+
+/// Computes the layout for `options` and `alphabet_size`. Fails with
+/// OutOfBudget if the fixed areas leave no room for trees.
+StatusOr<MemoryLayout> PlanMemory(const BuildOptions& options,
+                                  int alphabet_size);
+
+/// WaveFront's allocation for the same budget (Section 3 / Section 6.1): the
+/// two nested-loop buffers take ~50% of memory and the sub-tree the rest, so
+/// WaveFront's FM is lower than ERA's for the same budget.
+StatusOr<MemoryLayout> PlanMemoryWaveFront(const BuildOptions& options,
+                                           int alphabet_size);
+
+}  // namespace era
+
+#endif  // ERA_ERA_MEMORY_LAYOUT_H_

@@ -1,0 +1,118 @@
+#include "era/parallel_builder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.h"
+#include "era/memory_layout.h"
+#include "wavefront/wavefront.h"
+
+namespace era {
+
+StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
+  WallTimer total_timer;
+  ERA_RETURN_NOT_OK(ValidateBuildOptions(options_));
+  Env* env = options_.GetEnv();
+  ERA_RETURN_NOT_OK(env->CreateDir(options_.work_dir));
+
+  BuildStats stats;
+
+  // Memory is divided equally among cores; plan with the per-core share.
+  BuildOptions worker_options = options_;
+  worker_options.memory_budget = options_.memory_budget / num_workers_;
+  const bool wavefront = algorithm_ == ParallelAlgorithm::kWaveFront;
+  if (wavefront) worker_options.group_virtual_trees = false;
+
+  ERA_ASSIGN_OR_RETURN(
+      MemoryLayout layout,
+      wavefront ? PlanMemoryWaveFront(worker_options, text.alphabet.size())
+                : PlanMemory(worker_options, text.alphabet.size()));
+  stats.fm = layout.fm;
+
+  // Vertical partitioning is not parallelized (its cost is low; Section 5).
+  ERA_ASSIGN_OR_RETURN(PartitionPlan plan,
+                       VerticalPartition(text, worker_options, layout.fm));
+  stats.vertical_seconds = plan.seconds;
+  stats.io.Add(plan.io);
+  stats.num_groups = plan.groups.size();
+  stats.num_subtrees = plan.NumSubTrees();
+
+  // Workers drain a shared queue of virtual trees.
+  WallTimer horizontal_timer;
+  std::atomic<std::size_t> next_group{0};
+  std::vector<GroupOutput> outputs(plan.groups.size());
+  std::vector<IoStats> worker_io(num_workers_);
+  std::vector<double> worker_seconds(num_workers_, 0);
+  std::vector<Status> worker_status(num_workers_);
+  std::vector<std::thread> workers;
+
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    workers.emplace_back([&, w] {
+      WallTimer worker_timer;
+      auto run = [&]() -> Status {
+        StringReaderOptions reader_options;
+        reader_options.buffer_bytes = layout.input_buffer_bytes;
+        reader_options.seek_optimization = worker_options.seek_optimization;
+        ERA_ASSIGN_OR_RETURN(auto reader,
+                             OpenStringReader(env, text.path, reader_options,
+                                              &worker_io[w]));
+        std::unique_ptr<StringReader> suffix_reader;
+        std::unique_ptr<StringReader> edge_reader;
+        if (wavefront) {
+          StringReaderOptions wf_options;
+          wf_options.buffer_bytes = layout.input_buffer_bytes;
+          wf_options.bill_random_as_sequential = true;
+          wf_options.random_window_bytes = 512;
+          ERA_ASSIGN_OR_RETURN(suffix_reader,
+                               OpenStringReader(env, text.path, wf_options,
+                                                &worker_io[w]));
+          StringReaderOptions edge_options;
+          edge_options.buffer_bytes = layout.r_buffer_bytes;
+          edge_options.bill_random_as_sequential = true;
+          edge_options.random_window_bytes = 512;
+          ERA_ASSIGN_OR_RETURN(edge_reader,
+                               OpenStringReader(env, text.path, edge_options,
+                                                &worker_io[w]));
+        }
+        for (;;) {
+          std::size_t g = next_group.fetch_add(1);
+          if (g >= plan.groups.size()) break;
+          if (wavefront) {
+            ERA_RETURN_NOT_OK(WaveFrontProcessUnit(
+                text, worker_options, plan.groups[g], g, reader.get(),
+                suffix_reader.get(), edge_reader.get(), &outputs[g]));
+          } else {
+            ERA_RETURN_NOT_OK(ProcessGroup(text, worker_options, layout,
+                                           plan.groups[g], g, reader.get(),
+                                           &outputs[g]));
+          }
+        }
+        return Status::OK();
+      };
+      worker_status[w] = run();
+      worker_seconds[w] = worker_timer.Seconds();
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (const Status& s : worker_status) ERA_RETURN_NOT_OK(s);
+
+  for (const IoStats& io : worker_io) stats.io.Add(io);
+  for (const GroupOutput& output : outputs) {
+    stats.prepare_rounds += output.rounds;
+    stats.peak_tree_bytes = std::max(stats.peak_tree_bytes, output.tree_bytes);
+    stats.io.Add(output.write_io);
+  }
+  stats.horizontal_seconds = horizontal_timer.Seconds();
+
+  ParallelBuildResult result;
+  ERA_ASSIGN_OR_RETURN(result.index,
+                       AssembleIndex(text, worker_options, plan, outputs));
+  result.worker_seconds = worker_seconds;
+  stats.total_seconds = total_timer.Seconds();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace era

@@ -1,0 +1,54 @@
+// Shared-memory / shared-disk parallel construction (Section 5).
+//
+// A master performs vertical partitioning, then the virtual trees are
+// divided among worker threads. All workers read the same input file (the
+// architecture's strength) and split the memory budget equally (its
+// constraint): FM is computed from the per-core share, so more cores mean
+// smaller sub-trees — the interference-driven scaling limit of Figure 12.
+
+#ifndef ERA_ERA_PARALLEL_BUILDER_H_
+#define ERA_ERA_PARALLEL_BUILDER_H_
+
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "era/era_builder.h"
+
+namespace era {
+
+/// Which construction algorithm the parallel drivers run per work unit.
+enum class ParallelAlgorithm {
+  kEra,        // ERA horizontal partitioning (grouped virtual trees)
+  kWaveFront,  // PWaveFront-style: one sub-tree per unit, WF insertion
+};
+
+/// Result of a parallel build: the index plus per-worker timing.
+struct ParallelBuildResult {
+  TreeIndex index;
+  BuildStats stats;
+  std::vector<double> worker_seconds;
+};
+
+/// Multicore builder over a shared Env/input file.
+class ParallelBuilder {
+ public:
+  /// `options.memory_budget` is the TOTAL budget; it is divided equally
+  /// among `num_workers` (the paper's Figure 12 setup).
+  ParallelBuilder(const BuildOptions& options, unsigned num_workers,
+                  ParallelAlgorithm algorithm = ParallelAlgorithm::kEra)
+      : options_(options),
+        num_workers_(num_workers == 0 ? 1 : num_workers),
+        algorithm_(algorithm) {}
+
+  StatusOr<ParallelBuildResult> Build(const TextInfo& text);
+
+ private:
+  BuildOptions options_;
+  unsigned num_workers_;
+  ParallelAlgorithm algorithm_;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_PARALLEL_BUILDER_H_

@@ -1,0 +1,135 @@
+// Algorithm SubTreePrepare (Section 4.2.2).
+//
+// For each S-prefix p in a virtual tree, computes the intermediate structure
+// (L, B): L lists the occurrences of p (the sub-tree's leaves) in
+// lexicographic order of their suffixes, and B[i] = (c1, c2, offset) records
+// the branching relation between adjacent leaves — offset is the absolute
+// string depth where the branches to L[i-1] and L[i] separate, and c1/c2 the
+// first symbols after the separation.
+//
+// The implementation maintains the paper's auxiliary arrays:
+//   I: appearance-rank -> current slot (drives the sequential fill of R)
+//   P: slot -> appearance rank
+//   A: active areas (represented as [begin,end) slot ranges)
+//   R: per-active-slot window of `range` next symbols (compact storage)
+// Each iteration performs one merged sequential scan of S for all sub-trees
+// of the group, sorts every active area by window content, emits the B
+// entries that became decidable, and retires resolved leaves — shrinking the
+// active set so the elastic range grows.
+
+#ifndef ERA_ERA_SUBTREE_PREPARE_H_
+#define ERA_ERA_SUBTREE_PREPARE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "era/range_policy.h"
+#include "era/vertical_partitioner.h"
+#include "io/string_reader.h"
+
+namespace era {
+
+/// Branching relation between adjacent leaves (B array entry).
+struct BranchInfo {
+  uint64_t offset = 0;  // absolute depth of the separation point
+  char c1 = 0;          // first symbol of the branch to L[i-1] after it
+  char c2 = 0;          // first symbol of the branch to L[i] after it
+  bool defined = false;
+};
+
+/// The (L, B) pair for one sub-tree, ready for BuildSubTree.
+struct PreparedSubTree {
+  std::string prefix;
+  std::vector<uint64_t> leaves;       // L, lexicographically sorted
+  std::vector<BranchInfo> branches;   // parallel to leaves; [0] unused
+};
+
+/// Counters for one group's preparation.
+struct PrepareStats {
+  uint32_t rounds = 0;
+  uint64_t symbols_fetched = 0;
+  uint64_t occurrence_scan_matches = 0;
+};
+
+/// Post-round state exposed to tests (mirrors the paper's Traces 1-3).
+struct PrepareSnapshot {
+  uint32_t round = 0;   // 1-based
+  uint32_t range = 0;
+  struct State {
+    std::string prefix;
+    std::vector<int64_t> I;  // -1 = done
+    std::vector<uint64_t> P;
+    std::vector<uint64_t> L;
+    std::vector<std::string> R;  // window per slot; empty if not fetched
+    std::vector<int64_t> area;   // -1 = resolved, else area ordinal (1-based)
+    std::vector<std::optional<std::tuple<char, char, uint64_t>>> B;
+  };
+  std::vector<State> states;
+};
+
+/// Runs SubTreePrepare for all sub-trees of one virtual tree, sharing every
+/// scan of S across the group (Section 4.1's I/O amortization).
+class GroupPreparer {
+ public:
+  /// `reader` must outlive the preparer; its IoStats accumulate the scans.
+  GroupPreparer(const VirtualTree& group, const RangePolicy& policy,
+                StringReader* reader, uint64_t text_length);
+
+  /// Observer invoked after every iteration (tests reproduce the paper's
+  /// traces through this hook).
+  void SetObserver(std::function<void(const PrepareSnapshot&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Finds the occurrences (one scan) and iterates until every B is defined.
+  Status Run();
+
+  /// Results, one per prefix in group order. Valid after Run().
+  std::vector<PreparedSubTree>& results() { return results_; }
+  const PrepareStats& stats() const { return stats_; }
+
+ private:
+  static constexpr int64_t kDoneSlot = -1;
+
+  /// Per-prefix working state.
+  struct State {
+    std::string prefix;
+    uint64_t expected_frequency = 0;
+    std::vector<uint64_t> L;  // slot -> position in S
+    std::vector<uint64_t> P;  // slot -> appearance rank
+    std::vector<int64_t> I;   // appearance rank -> slot; kDoneSlot = done
+    std::vector<BranchInfo> B;
+    /// Active areas as [begin, end) slot ranges, each of size >= 2, sorted.
+    std::vector<std::pair<uint32_t, uint32_t>> areas;
+    uint64_t start = 0;  // symbols consumed so far (>= |prefix|)
+
+    // Round-local compact window storage.
+    std::vector<uint32_t> slot_to_compact;
+    std::vector<char> was_active;    // slot took part in the current round
+    std::vector<char> windows;       // active_count * range bytes
+    std::vector<uint32_t> window_len;
+    uint64_t active_count = 0;
+  };
+
+  Status ScanOccurrences();
+  Status RunRound(uint32_t range);
+  void EmitSnapshot(uint32_t range);
+
+  const VirtualTree& group_;
+  RangePolicy policy_;
+  StringReader* reader_;
+  uint64_t text_length_;
+  std::vector<State> states_;
+  std::vector<PreparedSubTree> results_;
+  PrepareStats stats_;
+  std::function<void(const PrepareSnapshot&)> observer_;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_SUBTREE_PREPARE_H_

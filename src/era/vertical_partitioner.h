@@ -1,0 +1,75 @@
+// Vertical partitioning (Section 4.1, Algorithm VerticalPartitioning).
+//
+// Splits the suffix tree of S into sub-trees T_p via variable-length
+// S-prefixes whose frequencies fit FM, then groups sub-trees into virtual
+// trees whose total frequency still fits FM so one scan of S feeds the whole
+// group.
+//
+// $-handling: when a prefix p is split (f_p > FM), the occurrence of p that
+// is immediately followed by the terminal — i.e. the suffix p$ — belongs to
+// none of the extensions p·s, so it is emitted as a direct trie leaf. The
+// terminal-only suffix $ (position n) is likewise always a trie leaf; these
+// are the paper's singleton sub-trees such as T$ in Figure 2.
+
+#ifndef ERA_ERA_VERTICAL_PARTITIONER_H_
+#define ERA_ERA_VERTICAL_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "io/io_stats.h"
+#include "text/corpus.h"
+
+namespace era {
+
+/// One S-prefix selected by partitioning.
+struct PrefixInfo {
+  std::string prefix;
+  uint64_t frequency = 0;
+};
+
+/// A group of sub-trees processed as one unit (shared scans of S).
+struct VirtualTree {
+  std::vector<PrefixInfo> prefixes;
+  uint64_t total_frequency = 0;
+};
+
+/// Output of vertical partitioning.
+struct PartitionPlan {
+  std::vector<VirtualTree> groups;
+  /// Direct trie leaves: (prefix, position) for suffixes prefix+terminal
+  /// that fell out of splits, plus ("", n) for the terminal-only suffix.
+  std::vector<std::pair<std::string, uint64_t>> terminal_leaves;
+  /// Scan iterations executed (working-set rounds).
+  uint32_t rounds = 0;
+  /// Wall-clock seconds spent partitioning.
+  double seconds = 0;
+  /// I/O performed by the partitioning scans.
+  IoStats io;
+
+  /// Total number of sub-trees across groups.
+  uint64_t NumSubTrees() const {
+    uint64_t n = 0;
+    for (const auto& g : groups) n += g.prefixes.size();
+    return n;
+  }
+};
+
+/// Runs Algorithm VerticalPartitioning followed by the grouping heuristic.
+/// If `options.group_virtual_trees` is false every sub-tree gets its own
+/// group (the "without grouping" baseline of Figure 9(a)).
+StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
+                                          const BuildOptions& options,
+                                          uint64_t fm);
+
+/// The grouping heuristic alone (exposed for tests): first-fit into groups
+/// from a frequency-descending list.
+std::vector<VirtualTree> GroupPrefixes(std::vector<PrefixInfo> prefixes,
+                                       uint64_t fm, bool enable_grouping);
+
+}  // namespace era
+
+#endif  // ERA_ERA_VERTICAL_PARTITIONER_H_

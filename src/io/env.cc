@@ -1,0 +1,23 @@
+#include "io/env.h"
+
+namespace era {
+
+Status Env::WriteFile(const std::string& path, const std::string& data) {
+  ERA_ASSIGN_OR_RETURN(auto file, NewWritable(path));
+  ERA_RETURN_NOT_OK(file->Append(data.data(), data.size()));
+  return file->Close();
+}
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  ERA_ASSIGN_OR_RETURN(auto file, OpenRandomAccess(path));
+  out->clear();
+  out->resize(file->Size());
+  std::size_t got = 0;
+  ERA_RETURN_NOT_OK(file->Read(0, out->size(), out->data(), &got));
+  if (got != out->size()) {
+    return Status::IOError("short read of " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace era

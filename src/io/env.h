@@ -1,0 +1,75 @@
+// Storage abstraction (RocksDB-style Env).
+//
+// All file access in the library goes through Env so that tests can run
+// against an in-memory filesystem and so that every byte read by a builder is
+// observable by the instrumentation layer (IoStats).
+
+#ifndef ERA_IO_ENV_H_
+#define ERA_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace era {
+
+/// Read-only file with positional reads (pread semantics).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset` into `scratch`. `*out_n` receives the
+  /// number of bytes actually read (0 at EOF). Short reads at end-of-file are
+  /// not errors.
+  virtual Status Read(uint64_t offset, std::size_t n, char* scratch,
+                      std::size_t* out_n) const = 0;
+
+  /// Total file size in bytes.
+  virtual uint64_t Size() const = 0;
+};
+
+/// Append-only output file.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const char* data, std::size_t n) = 0;
+  virtual Status Close() = 0;
+
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+};
+
+/// Filesystem abstraction. Thread-safe; files returned by it are independently
+/// usable from different threads (each with its own read position state).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
+      const std::string& path) = 0;
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritable(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  /// Creates a directory (and parents). No-op if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Convenience: writes `data` to `path`, replacing existing content.
+  Status WriteFile(const std::string& path, const std::string& data);
+  /// Convenience: reads the whole file into `*out`.
+  Status ReadFileToString(const std::string& path, std::string* out);
+};
+
+/// Process-wide POSIX Env singleton.
+Env* GetDefaultEnv();
+
+}  // namespace era
+
+#endif  // ERA_IO_ENV_H_

@@ -1,0 +1,15 @@
+#include "io/io_stats.h"
+
+#include <sstream>
+
+namespace era {
+
+std::string IoStats::ToString() const {
+  std::ostringstream os;
+  os << "read=" << bytes_read << "B written=" << bytes_written
+     << "B seq_refills=" << sequential_refills << " seeks=" << seeks
+     << " skipped=" << bytes_skipped << "B scans=" << scans_started;
+  return os.str();
+}
+
+}  // namespace era

@@ -1,0 +1,65 @@
+// I/O instrumentation and the disk cost model.
+//
+// Every builder reads the input string through readers that tally their
+// accesses into an IoStats. Benchmarks report both measured wall time and the
+// "modeled disk time" obtained by pricing the recorded events with a
+// DiskModel. This is the repository's documented substitution for the paper's
+// disk-bound testbed: at laptop scale the OS page cache hides most I/O
+// latency, so modeled time restores the I/O-bound component of the shapes the
+// paper measures (see DESIGN.md §4).
+
+#ifndef ERA_IO_IO_STATS_H_
+#define ERA_IO_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace era {
+
+/// Counters for the disk traffic of one builder (or one thread of one).
+struct IoStats {
+  /// Bytes actually transferred from the input string file.
+  uint64_t bytes_read = 0;
+  /// Bytes written (serialized sub-trees, temporaries).
+  uint64_t bytes_written = 0;
+  /// Number of buffer refills that continued sequentially.
+  uint64_t sequential_refills = 0;
+  /// Number of random repositionings (disk seeks).
+  uint64_t seeks = 0;
+  /// Bytes skipped over via the disk-seek optimization (Section 4.4).
+  uint64_t bytes_skipped = 0;
+  /// Number of full passes over the input string that were started.
+  uint64_t scans_started = 0;
+
+  /// Accumulates `other` into this (for aggregating per-thread stats).
+  void Add(const IoStats& other) {
+    bytes_read += other.bytes_read;
+    bytes_written += other.bytes_written;
+    sequential_refills += other.sequential_refills;
+    seeks += other.seeks;
+    bytes_skipped += other.bytes_skipped;
+    scans_started += other.scans_started;
+  }
+
+  std::string ToString() const;
+};
+
+/// Prices IoStats events as a conventional spinning disk would.
+struct DiskModel {
+  /// Sequential transfer bandwidth in bytes/second (default 100 MB/s).
+  double sequential_bytes_per_second = 100.0 * 1024 * 1024;
+  /// Cost of one random repositioning in seconds (default 8 ms).
+  double seek_seconds = 0.008;
+
+  /// Disk time the recorded events would take on the modeled device.
+  double ModeledSeconds(const IoStats& stats) const {
+    double xfer = static_cast<double>(stats.bytes_read + stats.bytes_written) /
+                  sequential_bytes_per_second;
+    double seek = static_cast<double>(stats.seeks) * seek_seconds;
+    return xfer + seek;
+  }
+};
+
+}  // namespace era
+
+#endif  // ERA_IO_IO_STATS_H_

@@ -1,0 +1,100 @@
+#include "io/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace era {
+
+namespace {
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<std::string> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, std::size_t n, char* scratch,
+              std::size_t* out_n) const override {
+    if (offset >= data_->size()) {
+      *out_n = 0;
+      return Status::OK();
+    }
+    std::size_t avail = data_->size() - offset;
+    std::size_t take = std::min(n, avail);
+    std::memcpy(scratch, data_->data() + offset, take);
+    *out_n = take;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return data_->size(); }
+
+ private:
+  std::shared_ptr<std::string> data_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<std::string> data)
+      : data_(std::move(data)) {}
+
+  Status Append(const char* data, std::size_t n) override {
+    data_->append(data, n);
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<std::string> data_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RandomAccessFile>> MemEnv::OpenRandomAccess(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IOError("mem file not found: " + path);
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new MemRandomAccessFile(it->second));
+}
+
+StatusOr<std::unique_ptr<WritableFile>> MemEnv::NewWritable(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto data = std::make_shared<std::string>();
+  files_[path] = data;
+  return std::unique_ptr<WritableFile>(new MemWritableFile(std::move(data)));
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.count(path) > 0;
+}
+
+StatusOr<uint64_t> MemEnv::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::IOError("mem file not found: " + path);
+  }
+  return static_cast<uint64_t>(it->second->size());
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (files_.erase(path) == 0) {
+    return Status::IOError("mem file not found: " + path);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::CreateDir(const std::string&) { return Status::OK(); }
+
+std::size_t MemEnv::FileCount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.size();
+}
+
+}  // namespace era

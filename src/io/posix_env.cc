@@ -1,0 +1,142 @@
+#include "io/posix_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace era {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& context) {
+  return context + ": " + std::strerror(errno);
+}
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(uint64_t offset, std::size_t n, char* scratch,
+              std::size_t* out_n) const override {
+    std::size_t total = 0;
+    while (total < n) {
+      ssize_t got = ::pread(fd_, scratch + total, n - total,
+                            static_cast<off_t>(offset + total));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("pread"));
+      }
+      if (got == 0) break;  // EOF
+      total += static_cast<std::size_t>(got);
+    }
+    *out_n = total;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixWritableFile : public WritableFile {
+ public:
+  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, std::size_t n) override {
+    std::size_t total = 0;
+    while (total < n) {
+      ssize_t put = ::write(fd_, data + total, n - total);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write"));
+      }
+      total += static_cast<std::size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Status::IOError(ErrnoMessage("close"));
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RandomAccessFile>> PosixEnv::OpenRandomAccess(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(ErrnoMessage("fstat " + path));
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new PosixRandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+}
+
+StatusOr<std::unique_ptr<WritableFile>> PosixEnv::NewWritable(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open " + path));
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd));
+}
+
+bool PosixEnv::FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+StatusOr<uint64_t> PosixEnv::FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat " + path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status PosixEnv::DeleteFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("unlink " + path));
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::CreateDir(const std::string& path) {
+  std::string partial;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty() && partial != "/") {
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          return Status::IOError(ErrnoMessage("mkdir " + partial));
+        }
+      }
+    }
+    if (i < path.size()) partial.push_back(path[i]);
+  }
+  return Status::OK();
+}
+
+Env* GetDefaultEnv() {
+  static PosixEnv env;
+  return &env;
+}
+
+}  // namespace era

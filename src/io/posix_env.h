@@ -1,0 +1,25 @@
+// POSIX-backed Env implementation.
+
+#ifndef ERA_IO_POSIX_ENV_H_
+#define ERA_IO_POSIX_ENV_H_
+
+#include "io/env.h"
+
+namespace era {
+
+/// Env over the local filesystem (pread-based, thread-safe).
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<WritableFile>> NewWritable(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  Status DeleteFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+};
+
+}  // namespace era
+
+#endif  // ERA_IO_POSIX_ENV_H_

@@ -1,0 +1,127 @@
+#include "io/string_reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace era {
+
+StringReader::StringReader(std::unique_ptr<RandomAccessFile> file,
+                           const StringReaderOptions& options, IoStats* stats)
+    : file_(std::move(file)), options_(options), stats_(stats) {
+  if (options_.buffer_bytes < 4096) options_.buffer_bytes = 4096;
+  buffer_.resize(options_.buffer_bytes);
+}
+
+void StringReader::BeginScan(uint64_t start_pos) {
+  scan_pos_ = start_pos;
+  if (stats_ != nullptr) ++stats_->scans_started;
+  // The window itself is kept: if the new scan starts inside it we can serve
+  // without touching the device.
+}
+
+Status StringReader::Refill(uint64_t pos, bool sequential,
+                            bool full_window) {
+  std::size_t want = buffer_.size();
+  if (!sequential && !full_window) {
+    want = std::min<std::size_t>(want, options_.random_window_bytes);
+  }
+  std::size_t got = 0;
+  ERA_RETURN_NOT_OK(file_->Read(pos, want, buffer_.data(), &got));
+  if (stats_ != nullptr) {
+    stats_->bytes_read += got;
+    if (sequential || options_.bill_random_as_sequential) {
+      ++stats_->sequential_refills;
+    } else {
+      ++stats_->seeks;
+    }
+  }
+  buffer_start_ = pos;
+  buffer_len_ = got;
+  has_window_ = true;
+  return Status::OK();
+}
+
+Status StringReader::Fetch(uint64_t pos, uint32_t len, char* out,
+                           uint32_t* out_len) {
+  if (pos < scan_pos_) {
+    return Status::InvalidArgument(
+        "Fetch position moved backwards within a scan");
+  }
+  scan_pos_ = pos;
+
+  uint32_t written = 0;
+  uint64_t cur = pos;
+  while (written < len && cur < file_->Size()) {
+    bool in_window = has_window_ && cur >= buffer_start_ &&
+                     cur < buffer_start_ + buffer_len_;
+    if (!in_window) {
+      uint64_t window_end = has_window_ ? buffer_start_ + buffer_len_ : 0;
+      if (has_window_ && cur >= window_end) {
+        uint64_t gap = cur - window_end;
+        if (options_.seek_optimization && gap >= options_.skip_threshold_bytes) {
+          // Skip the gap with a short seek instead of reading through it.
+          if (stats_ != nullptr) stats_->bytes_skipped += gap;
+          ERA_RETURN_NOT_OK(Refill(cur, /*sequential=*/false));
+        } else {
+          // Read through: the scan continues sequentially; intermediate
+          // blocks are fetched (and billed) even though they are unneeded.
+          uint64_t next = window_end;
+          while (next + buffer_.size() <= cur) {
+            ERA_RETURN_NOT_OK(Refill(next, /*sequential=*/true));
+            next = buffer_start_ + buffer_len_;
+            if (buffer_len_ == 0) break;  // EOF guard
+          }
+          ERA_RETURN_NOT_OK(Refill(cur, /*sequential=*/true));
+        }
+      } else {
+        // First access of this reader, or a position before the window (only
+        // possible right after BeginScan rewound): treat as a fresh
+        // positioning.
+        ERA_RETURN_NOT_OK(Refill(cur, /*sequential=*/!has_window_));
+      }
+      if (buffer_len_ == 0) break;  // EOF
+    }
+    uint64_t offset_in_buffer = cur - buffer_start_;
+    uint64_t avail = buffer_len_ - offset_in_buffer;
+    uint32_t take = static_cast<uint32_t>(
+        std::min<uint64_t>(avail, len - written));
+    std::memcpy(out + written, buffer_.data() + offset_in_buffer, take);
+    written += take;
+    cur += take;
+  }
+  *out_len = written;
+  return Status::OK();
+}
+
+Status StringReader::RandomFetch(uint64_t pos, uint32_t len, char* out,
+                                 uint32_t* out_len) {
+  uint32_t written = 0;
+  uint64_t cur = pos;
+  while (written < len && cur < file_->Size()) {
+    bool in_window = has_window_ && cur >= buffer_start_ &&
+                     cur < buffer_start_ + buffer_len_;
+    if (!in_window) {
+      ERA_RETURN_NOT_OK(
+          Refill(cur, /*sequential=*/false, /*full_window=*/false));
+      if (buffer_len_ == 0) break;
+    }
+    uint64_t offset_in_buffer = cur - buffer_start_;
+    uint64_t avail = buffer_len_ - offset_in_buffer;
+    uint32_t take = static_cast<uint32_t>(
+        std::min<uint64_t>(avail, len - written));
+    std::memcpy(out + written, buffer_.data() + offset_in_buffer, take);
+    written += take;
+    cur += take;
+  }
+  *out_len = written;
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<StringReader>> OpenStringReader(
+    Env* env, const std::string& path, const StringReaderOptions& options,
+    IoStats* stats) {
+  ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
+  return std::make_unique<StringReader>(std::move(file), options, stats);
+}
+
+}  // namespace era

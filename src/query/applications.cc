@@ -1,0 +1,198 @@
+#include "query/applications.h"
+
+#include <algorithm>
+
+#include "query/query_engine.h"
+
+namespace era {
+
+namespace {
+
+/// Iterative DFS over one sub-tree invoking `visit(node, depth, parent_depth)`
+/// for every internal node with >= 2 children (true branching points).
+template <typename Visit>
+void VisitBranchingNodes(const TreeBuffer& tree, Visit&& visit) {
+  struct Frame {
+    uint32_t node;
+    uint64_t depth;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.node(f.node);
+    if (n.IsLeaf()) continue;
+    uint32_t children = 0;
+    for (uint32_t c = n.first_child; c != kNilNode;
+         c = tree.node(c).next_sibling) {
+      ++children;
+      stack.push_back({c, f.depth + tree.node(c).edge_len});
+    }
+    if (children >= 2) visit(f.node, f.depth);
+  }
+}
+
+/// First leaf position under `node` (cheap existence witness).
+uint64_t FirstLeafUnder(const TreeBuffer& tree, uint32_t node) {
+  uint32_t u = node;
+  while (!tree.node(u).IsLeaf()) u = tree.node(u).first_child;
+  return tree.node(u).leaf_id;
+}
+
+}  // namespace
+
+StatusOr<Substring> LongestRepeatedSubstring(Env* env, const TreeIndex& index,
+                                             const std::string& text) {
+  Substring best;
+  for (uint32_t id = 0; id < index.subtrees().size(); ++id) {
+    ERA_ASSIGN_OR_RETURN(auto tree, index.OpenSubTree(env, id, nullptr));
+    VisitBranchingNodes(*tree, [&](uint32_t node, uint64_t depth) {
+      if (depth > best.length) {
+        best.length = depth;
+        best.offset = FirstLeafUnder(*tree, node);
+      }
+    });
+  }
+  // Branching points shared between sub-trees live on trie paths; a trie
+  // node with >= 2 suffixes below it witnesses a repeat of its path length.
+  // Trie paths are the (short) partition prefixes, so this only matters for
+  // texts whose repeats are shorter than the prefixes.
+  struct TrieFrame {
+    uint32_t node;
+    uint64_t depth;
+  };
+  std::vector<TrieFrame> stack{{0, 0}};
+  while (!stack.empty()) {
+    TrieFrame f = stack.back();
+    stack.pop_back();
+    const PrefixTrie::Node& n = index.trie().node(f.node);
+    if (f.depth > best.length && index.trie().TotalFrequency(f.node) >= 2) {
+      // Witness: any suffix below shares this path.
+      std::vector<PrefixTrie::Entry> entries;
+      index.trie().CollectEntries(f.node, &entries);
+      uint64_t offset = 0;
+      if (entries[0].subtree_id >= 0) {
+        ERA_ASSIGN_OR_RETURN(
+            auto tree,
+            index.OpenSubTree(
+                env, static_cast<uint32_t>(entries[0].subtree_id), nullptr));
+        offset = FirstLeafUnder(*tree, 0);
+      } else {
+        offset = entries[0].leaf_position;
+      }
+      best.length = f.depth;
+      best.offset = offset;
+    }
+    for (const auto& [sym, child] : n.children) {
+      (void)sym;
+      stack.push_back({child, f.depth + 1});
+    }
+  }
+  (void)text;
+  return best;
+}
+
+StatusOr<Motif> MostFrequentKmer(Env* env, const TreeIndex& index,
+                                 const std::string& text, uint64_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  Motif best;
+
+  // Count leaves under the shallowest node at depth >= k in each sub-tree:
+  // that node's leaf count is the frequency of its k-symbol path prefix.
+  for (uint32_t id = 0; id < index.subtrees().size(); ++id) {
+    ERA_ASSIGN_OR_RETURN(auto tree, index.OpenSubTree(env, id, nullptr));
+    struct Frame {
+      uint32_t node;
+      uint64_t depth;
+    };
+    std::vector<Frame> stack{{0, 0}};
+    while (!stack.empty()) {
+      Frame f = stack.back();
+      stack.pop_back();
+      const TreeNode& n = tree->node(f.node);
+      if (f.depth >= k) {
+        // All leaves below share the first k symbols.
+        std::vector<uint64_t> leaves;
+        CollectLeaves(*tree, f.node, &leaves, SIZE_MAX);
+        uint64_t offset = leaves.front();
+        // Exclude windows that would run past the text body (terminal).
+        uint64_t count = 0;
+        for (uint64_t pos : leaves) {
+          if (pos + k < text.size()) ++count;  // strictly inside the body
+        }
+        if (count > best.count) {
+          best.count = count;
+          best.offset = offset;
+        }
+        continue;
+      }
+      for (uint32_t c = n.first_child; c != kNilNode;
+           c = tree->node(c).next_sibling) {
+        stack.push_back({c, f.depth + tree->node(c).edge_len});
+      }
+    }
+  }
+  return best;
+}
+
+StatusOr<GeneralizedText> ConcatenateDocuments(
+    const std::vector<std::string>& documents, char separator) {
+  if (documents.empty()) {
+    return Status::InvalidArgument("no documents");
+  }
+  GeneralizedText out;
+  for (std::size_t d = 0; d < documents.size(); ++d) {
+    out.doc_starts.push_back(out.text.size());
+    out.text += documents[d];
+    if (d + 1 < documents.size()) out.text.push_back(separator);
+  }
+  out.text.push_back(kTerminal);
+  return out;
+}
+
+StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
+                                           const std::string& text,
+                                           const std::vector<uint64_t>& starts,
+                                           std::size_t doc_a, std::size_t doc_b,
+                                           char separator) {
+  if (doc_a >= starts.size() || doc_b >= starts.size()) {
+    return Status::InvalidArgument("document id out of range");
+  }
+  auto doc_of = [&](uint64_t pos) {
+    auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<std::size_t>(it - starts.begin()) - 1;
+  };
+
+  Substring best;
+  for (uint32_t id = 0; id < index.subtrees().size(); ++id) {
+    ERA_ASSIGN_OR_RETURN(auto tree, index.OpenSubTree(env, id, nullptr));
+    VisitBranchingNodes(*tree, [&](uint32_t node, uint64_t depth) {
+      if (depth <= best.length) return;
+      std::vector<uint64_t> leaves;
+      CollectLeaves(*tree, node, &leaves, SIZE_MAX);
+      bool has_a = false;
+      bool has_b = false;
+      for (uint64_t pos : leaves) {
+        std::size_t d = doc_of(pos);
+        has_a |= (d == doc_a);
+        has_b |= (d == doc_b);
+      }
+      if (!has_a || !has_b) return;
+      // The path must not cross a document boundary.
+      uint64_t offset = leaves.front();
+      bool crosses = false;
+      for (uint64_t i = 0; i < depth; ++i) {
+        if (text[offset + i] == separator) {
+          crosses = true;
+          break;
+        }
+      }
+      if (crosses) return;
+      best.length = depth;
+      best.offset = offset;
+    });
+  }
+  return best;
+}
+
+}  // namespace era

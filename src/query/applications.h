@@ -1,0 +1,60 @@
+// Suffix-tree applications from the paper's motivation (Section 1): longest
+// repeated substring, generalized suffix trees over document collections,
+// longest common substring, and frequent-motif extraction for time series.
+//
+// These walk every sub-tree of an index with the text memory-resident; they
+// are analysis passes, not point queries.
+
+#ifndef ERA_QUERY_APPLICATIONS_H_
+#define ERA_QUERY_APPLICATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "suffixtree/tree_index.h"
+
+namespace era {
+
+/// A located substring of the indexed text.
+struct Substring {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// Longest substring occurring at least twice (deepest internal node).
+/// Returns length 0 if nothing repeats.
+StatusOr<Substring> LongestRepeatedSubstring(Env* env, const TreeIndex& index,
+                                             const std::string& text);
+
+/// The most frequent substring of exactly `k` symbols and its occurrence
+/// count (the time-series motif primitive).
+struct Motif {
+  uint64_t offset = 0;
+  uint64_t count = 0;
+};
+StatusOr<Motif> MostFrequentKmer(Env* env, const TreeIndex& index,
+                                 const std::string& text, uint64_t k);
+
+/// Concatenates documents with `separator` between them (generalized
+/// suffix tree input). Returns the combined text (terminal appended) and
+/// the start offset of each document.
+struct GeneralizedText {
+  std::string text;
+  std::vector<uint64_t> doc_starts;
+};
+StatusOr<GeneralizedText> ConcatenateDocuments(
+    const std::vector<std::string>& documents, char separator);
+
+/// Longest common substring of documents `doc_a` and `doc_b` inside a
+/// generalized index built over ConcatenateDocuments output. The result
+/// offset refers to the combined text.
+StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
+                                           const std::string& text,
+                                           const std::vector<uint64_t>& starts,
+                                           std::size_t doc_a, std::size_t doc_b,
+                                           char separator);
+
+}  // namespace era
+
+#endif  // ERA_QUERY_APPLICATIONS_H_

@@ -1,0 +1,143 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+
+namespace era {
+
+void CollectLeaves(const TreeBuffer& tree, uint32_t node,
+                   std::vector<uint64_t>* leaves, std::size_t limit) {
+  std::vector<uint32_t> stack{node};
+  while (!stack.empty() && leaves->size() < limit) {
+    uint32_t u = stack.back();
+    stack.pop_back();
+    const TreeNode& n = tree.node(u);
+    if (n.IsLeaf()) leaves->push_back(n.leaf_id);
+    // Push children in reverse sibling order to emit lexicographically.
+    std::vector<uint32_t> children;
+    for (uint32_t c = n.first_child; c != kNilNode;
+         c = tree.node(c).next_sibling) {
+      children.push_back(c);
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
+    Env* env, const std::string& index_dir) {
+  ERA_ASSIGN_OR_RETURN(TreeIndex index, TreeIndex::Load(env, index_dir));
+  std::unique_ptr<QueryEngine> engine(
+      new QueryEngine(env, std::move(index)));
+  StringReaderOptions reader_options;
+  reader_options.buffer_bytes = 64 << 10;
+  ERA_ASSIGN_OR_RETURN(
+      engine->text_reader_,
+      OpenStringReader(env, engine->index_.text().path, reader_options,
+                       &engine->io_));
+  return engine;
+}
+
+StatusOr<QueryEngine::SubTreeMatch> QueryEngine::MatchInSubTree(
+    const TreeBuffer& tree, const std::string& pattern) {
+  SubTreeMatch result;
+  uint32_t node = 0;
+  std::size_t matched = 0;
+  char buf[256];
+  while (matched < pattern.size()) {
+    // Find the child whose edge starts with pattern[matched].
+    uint32_t child = tree.node(node).first_child;
+    bool advanced = false;
+    for (; child != kNilNode; child = tree.node(child).next_sibling) {
+      const TreeNode& c = tree.node(child);
+      uint32_t got = 0;
+      ERA_RETURN_NOT_OK(text_reader_->RandomFetch(c.edge_start, 1, buf, &got));
+      if (got != 1) return Status::Corruption("edge label out of text");
+      if (buf[0] != pattern[matched]) continue;
+      // Walk the label.
+      uint32_t j = 0;
+      while (j < c.edge_len && matched + j < pattern.size()) {
+        uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+            sizeof(buf), std::min<uint64_t>(c.edge_len - j,
+                                            pattern.size() - matched - j)));
+        ERA_RETURN_NOT_OK(
+            text_reader_->RandomFetch(c.edge_start + j, chunk, buf, &got));
+        if (got != chunk) return Status::Corruption("edge label truncated");
+        for (uint32_t i = 0; i < chunk; ++i) {
+          if (buf[i] != pattern[matched + j + i]) {
+            return result;  // mismatch inside the edge: no occurrences
+          }
+        }
+        j += chunk;
+      }
+      matched += j;
+      node = child;
+      advanced = true;
+      break;
+    }
+    if (!advanced) return result;  // no child continues the pattern
+  }
+  result.matched = true;
+  result.node = node;
+  return result;
+}
+
+StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const std::string& pattern,
+                                                    std::size_t limit) {
+  std::vector<uint64_t> hits;
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+
+  PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
+  if (walk.pattern_exhausted) {
+    // Every suffix below this trie node starts with the pattern.
+    std::vector<PrefixTrie::Entry> entries;
+    index_.trie().CollectEntries(walk.node, &entries);
+    for (const auto& entry : entries) {
+      if (hits.size() >= limit) break;
+      if (entry.subtree_id >= 0) {
+        ERA_ASSIGN_OR_RETURN(
+            auto tree,
+            index_.OpenSubTree(env_, static_cast<uint32_t>(entry.subtree_id),
+                               &io_));
+        CollectLeaves(*tree, 0, &hits, limit);
+      } else {
+        hits.push_back(entry.leaf_position);
+      }
+    }
+  } else {
+    const PrefixTrie::Node& node = index_.trie().node(walk.node);
+    if (node.subtree_id < 0) {
+      return hits;  // fell off the trie: no occurrences
+    }
+    ERA_ASSIGN_OR_RETURN(
+        auto tree, index_.OpenSubTree(
+                       env_, static_cast<uint32_t>(node.subtree_id), &io_));
+    // Sub-tree labels carry the full path from the global root, so match
+    // the whole pattern inside the sub-tree.
+    ERA_ASSIGN_OR_RETURN(SubTreeMatch match, MatchInSubTree(*tree, pattern));
+    if (match.matched) CollectLeaves(*tree, match.node, &hits, limit);
+  }
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+StatusOr<uint64_t> QueryEngine::Count(const std::string& pattern) {
+  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+
+  PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
+  if (walk.pattern_exhausted) {
+    // Frequencies are precomputed in the trie: no sub-tree I/O needed.
+    return index_.trie().TotalFrequency(walk.node);
+  }
+  ERA_ASSIGN_OR_RETURN(auto hits, Locate(pattern));
+  return static_cast<uint64_t>(hits.size());
+}
+
+StatusOr<bool> QueryEngine::Contains(const std::string& pattern) {
+  ERA_ASSIGN_OR_RETURN(auto hits, Locate(pattern, 1));
+  return !hits.empty();
+}
+
+}  // namespace era

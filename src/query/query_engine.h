@@ -1,0 +1,66 @@
+// Query engine over a built TreeIndex: exact pattern search in O(|P|)
+// symbol comparisons (the suffix tree's raison d'être, Section 1).
+//
+// A query walks the in-memory trie to the responsible sub-tree, loads it
+// (cached), and continues matching against edge labels resolved from the
+// text through a buffered reader.
+
+#ifndef ERA_QUERY_QUERY_ENGINE_H_
+#define ERA_QUERY_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/string_reader.h"
+#include "suffixtree/tree_index.h"
+
+namespace era {
+
+/// Read-side facade over an index directory.
+class QueryEngine {
+ public:
+  /// Loads the manifest from `index_dir` and opens the text file referenced
+  /// by it.
+  static StatusOr<std::unique_ptr<QueryEngine>> Open(
+      Env* env, const std::string& index_dir);
+
+  /// Number of occurrences of `pattern` in the text.
+  StatusOr<uint64_t> Count(const std::string& pattern);
+
+  /// Starting offsets of every occurrence (ascending), up to `limit`.
+  StatusOr<std::vector<uint64_t>> Locate(const std::string& pattern,
+                                         std::size_t limit = SIZE_MAX);
+
+  /// True iff `pattern` occurs at least once.
+  StatusOr<bool> Contains(const std::string& pattern);
+
+  const TreeIndex& index() const { return index_; }
+  /// Accumulated I/O of the query session (sub-tree loads + label reads).
+  const IoStats& io() const { return io_; }
+
+ private:
+  QueryEngine(Env* env, TreeIndex index) : env_(env), index_(std::move(index)) {}
+
+  /// Match outcome inside one sub-tree.
+  struct SubTreeMatch {
+    bool matched = false;
+    uint32_t node = 0;  // node whose subtree holds all occurrences
+  };
+  StatusOr<SubTreeMatch> MatchInSubTree(const TreeBuffer& tree,
+                                        const std::string& pattern);
+
+  Env* env_;
+  TreeIndex index_;
+  std::unique_ptr<StringReader> text_reader_;
+  IoStats io_;
+};
+
+/// Collects the leaf ids under `node` (test- and query-shared helper).
+void CollectLeaves(const TreeBuffer& tree, uint32_t node,
+                   std::vector<uint64_t>* leaves, std::size_t limit);
+
+}  // namespace era
+
+#endif  // ERA_QUERY_QUERY_ENGINE_H_

@@ -1,0 +1,36 @@
+#include "sa/lcp.h"
+
+namespace era {
+
+std::vector<uint64_t> BuildLcpArray(const std::string& text,
+                                    const std::vector<uint64_t>& sa) {
+  const std::size_t n = sa.size();
+  std::vector<uint64_t> rank(n), lcp(n, 0);
+  for (std::size_t i = 0; i < n; ++i) rank[sa[i]] = i;
+  uint64_t h = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rank[i] > 0) {
+      uint64_t j = sa[rank[i] - 1];
+      while (i + h < text.size() && j + h < text.size() &&
+             text[i + h] == text[j + h]) {
+        ++h;
+      }
+      lcp[rank[i]] = h;
+      if (h > 0) --h;
+    } else {
+      h = 0;
+    }
+  }
+  return lcp;
+}
+
+uint64_t LcpOfSuffixes(const std::string& text, uint64_t a, uint64_t b) {
+  uint64_t h = 0;
+  while (a + h < text.size() && b + h < text.size() &&
+         text[a + h] == text[b + h]) {
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace era

@@ -1,0 +1,22 @@
+// Longest-common-prefix arrays (Kasai et al. 2001).
+
+#ifndef ERA_SA_LCP_H_
+#define ERA_SA_LCP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace era {
+
+/// lcp[i] = LCP(text[sa[i-1]..], text[sa[i]..]) for i in [1, n);
+/// lcp[0] = 0. O(n).
+std::vector<uint64_t> BuildLcpArray(const std::string& text,
+                                    const std::vector<uint64_t>& sa);
+
+/// Direct character-by-character LCP of two suffixes (test oracle).
+uint64_t LcpOfSuffixes(const std::string& text, uint64_t a, uint64_t b);
+
+}  // namespace era
+
+#endif  // ERA_SA_LCP_H_

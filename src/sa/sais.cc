@@ -1,0 +1,168 @@
+#include "sa/sais.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace era {
+
+namespace {
+
+// Core SA-IS over an integer string `s` whose last element is a unique
+// smallest sentinel (value 0). Values are < k. `sa` receives the suffix
+// array of s (including the sentinel suffix at sa[0]).
+void SaIs(const std::vector<uint32_t>& s, uint32_t k, std::vector<uint32_t>* sa) {
+  const std::size_t n = s.size();
+  sa->assign(n, 0);
+  if (n == 1) {
+    (*sa)[0] = 0;
+    return;
+  }
+
+  // Classify suffixes: S-type (true) or L-type (false).
+  std::vector<char> is_s(n, 0);
+  is_s[n - 1] = 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](std::size_t i) {
+    return i > 0 && is_s[i] && !is_s[i - 1];
+  };
+
+  // Bucket boundaries by symbol.
+  std::vector<uint32_t> bucket_sizes(k, 0);
+  for (uint32_t c : s) ++bucket_sizes[c];
+  std::vector<uint32_t> bucket_heads(k), bucket_tails(k);
+  auto reset_buckets = [&] {
+    uint32_t sum = 0;
+    for (uint32_t c = 0; c < k; ++c) {
+      bucket_heads[c] = sum;
+      sum += bucket_sizes[c];
+      bucket_tails[c] = sum;
+    }
+  };
+
+  constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+
+  auto induce = [&](const std::vector<uint32_t>& lms_order) {
+    sa->assign(n, kEmpty);
+    reset_buckets();
+    // Place LMS suffixes at bucket tails in the given order (reversed so
+    // the last-inserted ends up first).
+    for (std::size_t idx = lms_order.size(); idx-- > 0;) {
+      uint32_t i = lms_order[idx];
+      (*sa)[--bucket_tails[s[i]]] = i;
+    }
+    // Induce L-type from left to right.
+    reset_buckets();
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      uint32_t j = (*sa)[idx];
+      if (j == kEmpty || j == 0) continue;
+      uint32_t i = j - 1;
+      if (!is_s[i]) (*sa)[bucket_heads[s[i]]++] = i;
+    }
+    // Induce S-type from right to left.
+    reset_buckets();
+    for (std::size_t idx = n; idx-- > 0;) {
+      uint32_t j = (*sa)[idx];
+      if (j == kEmpty || j == 0) continue;
+      uint32_t i = j - 1;
+      if (is_s[i]) (*sa)[--bucket_tails[s[i]]] = i;
+    }
+  };
+
+  // First pass: approximate order of LMS suffixes (any order works to get
+  // the LMS-substring names).
+  std::vector<uint32_t> lms_positions;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (is_lms(i)) lms_positions.push_back(static_cast<uint32_t>(i));
+  }
+  induce(lms_positions);
+
+  // Extract LMS suffixes in the induced order and name LMS substrings.
+  std::vector<uint32_t> sorted_lms;
+  sorted_lms.reserve(lms_positions.size());
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    uint32_t j = (*sa)[idx];
+    if (j != kEmpty && j > 0 && is_lms(j)) sorted_lms.push_back(j);
+  }
+
+  std::vector<uint32_t> name_of(n, kEmpty);
+  uint32_t names = 0;
+  uint32_t prev = kEmpty;
+  for (uint32_t pos : sorted_lms) {
+    if (prev == kEmpty) {
+      name_of[pos] = names;
+    } else {
+      // Compare LMS substrings at prev and pos.
+      bool same = true;
+      for (std::size_t d = 0;; ++d) {
+        bool prev_lms = d > 0 && is_lms(prev + d);
+        bool pos_lms = d > 0 && is_lms(pos + d);
+        if (prev + d >= n || pos + d >= n || s[prev + d] != s[pos + d] ||
+            is_s[prev + d] != is_s[pos + d]) {
+          same = false;
+          break;
+        }
+        if (prev_lms || pos_lms) {
+          same = prev_lms && pos_lms;
+          break;
+        }
+      }
+      if (!same) ++names;
+      name_of[pos] = names;
+    }
+    prev = pos;
+  }
+  ++names;  // count, not max index
+
+  if (names < lms_positions.size()) {
+    // Names are not unique: recurse on the reduced string.
+    std::vector<uint32_t> reduced;
+    reduced.reserve(lms_positions.size());
+    for (uint32_t i : lms_positions) reduced.push_back(name_of[i]);
+    std::vector<uint32_t> reduced_sa;
+    SaIs(reduced, names, &reduced_sa);
+    std::vector<uint32_t> ordered(lms_positions.size());
+    for (std::size_t i = 0; i < reduced_sa.size(); ++i) {
+      ordered[i] = lms_positions[reduced_sa[i]];
+    }
+    induce(ordered);
+  } else {
+    induce(sorted_lms);
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> BuildSuffixArray(const std::string& text) {
+  const std::size_t n = text.size();
+  std::vector<uint64_t> result;
+  if (n == 0) return result;
+
+  // Shift bytes by +1 and append the required unique smallest sentinel.
+  std::vector<uint32_t> s(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<uint32_t>(static_cast<unsigned char>(text[i])) + 1;
+  }
+  s[n] = 0;
+
+  std::vector<uint32_t> sa;
+  SaIs(s, 258, &sa);
+
+  result.reserve(n);
+  for (std::size_t i = 1; i < sa.size(); ++i) {  // skip the sentinel suffix
+    result.push_back(sa[i]);
+  }
+  return result;
+}
+
+std::vector<uint64_t> BuildSuffixArrayNaive(const std::string& text) {
+  std::vector<uint64_t> sa(text.size());
+  std::iota(sa.begin(), sa.end(), 0);
+  std::sort(sa.begin(), sa.end(), [&](uint64_t a, uint64_t b) {
+    return text.compare(a, std::string::npos, text, b, std::string::npos) < 0;
+  });
+  return sa;
+}
+
+}  // namespace era

@@ -1,0 +1,26 @@
+// Linear-time suffix array construction (SA-IS, Nong/Zhang/Chan 2009).
+//
+// Substrate for the B2ST baseline (per-partition suffix arrays) and the test
+// oracle for every tree builder. Works on raw bytes; because every text in
+// this library ends with a unique terminal byte, no suffix is a prefix of
+// another and the ordering is the plain lexicographic order of the byte
+// strings.
+
+#ifndef ERA_SA_SAIS_H_
+#define ERA_SA_SAIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace era {
+
+/// Suffix array of `text` (all |text| suffixes, lexicographic). O(n).
+std::vector<uint64_t> BuildSuffixArray(const std::string& text);
+
+/// O(n^2 log n) reference implementation for tests.
+std::vector<uint64_t> BuildSuffixArrayNaive(const std::string& text);
+
+}  // namespace era
+
+#endif  // ERA_SA_SAIS_H_

@@ -1,0 +1,47 @@
+// On-disk / in-memory suffix-tree node layout.
+//
+// A sub-tree is a flat array of 32-byte POD nodes. Edges are stored on their
+// child node as (edge_start, edge_len) offsets into the input string S —
+// the O(n) representation of Section 2. Children are linked through
+// first_child/next_sibling in lexicographic order of their first edge symbol,
+// so a depth-first traversal emits suffixes in lexicographic order.
+//
+// The paper sizes sub-trees as 2 * f_p * sizeof(tree node); FM derives from
+// sizeof(TreeNode) (see era/memory_layout.h).
+
+#ifndef ERA_SUFFIXTREE_NODE_H_
+#define ERA_SUFFIXTREE_NODE_H_
+
+#include <cstdint>
+
+namespace era {
+
+/// Sentinel for "no node".
+inline constexpr uint32_t kNilNode = 0xFFFFFFFFu;
+/// Sentinel leaf id for internal nodes.
+inline constexpr uint64_t kNoLeaf = ~0ull;
+
+/// One suffix-tree node (32 bytes, trivially copyable; serialized verbatim).
+struct TreeNode {
+  /// Offset in S of the first symbol of the incoming edge label.
+  uint64_t edge_start = 0;
+  /// For leaves: starting offset of the suffix this leaf represents.
+  /// kNoLeaf for internal nodes.
+  uint64_t leaf_id = kNoLeaf;
+  /// Length of the incoming edge label (0 only for the root).
+  uint32_t edge_len = 0;
+  /// First child in lexicographic order; kNilNode if none.
+  uint32_t first_child = kNilNode;
+  /// Next sibling in lexicographic order; kNilNode if last.
+  uint32_t next_sibling = kNilNode;
+  /// Reserved/padding (keeps the struct at 32 bytes).
+  uint32_t reserved = 0;
+
+  bool IsLeaf() const { return leaf_id != kNoLeaf; }
+};
+
+static_assert(sizeof(TreeNode) == 32, "TreeNode must stay 32 bytes");
+
+}  // namespace era
+
+#endif  // ERA_SUFFIXTREE_NODE_H_

@@ -1,0 +1,100 @@
+#include "suffixtree/serializer.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace era {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'R', 'A', 'S', 'U', 'B', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  char magic[8];
+  uint32_t version;
+  uint32_t prefix_len;
+  uint64_t node_count;
+  uint32_t crc;
+  uint32_t reserved;
+};
+static_assert(sizeof(Header) == 32, "keep the header fixed-size");
+
+}  // namespace
+
+Status WriteSubTree(Env* env, const std::string& path,
+                    const std::string& prefix, const TreeBuffer& tree,
+                    IoStats* stats) {
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.prefix_len = static_cast<uint32_t>(prefix.size());
+  header.node_count = tree.size();
+  header.reserved = 0;
+  const char* node_bytes =
+      reinterpret_cast<const char*>(tree.nodes().data());
+  std::size_t node_size = tree.nodes().size() * sizeof(TreeNode);
+  header.crc = Crc32(node_bytes, node_size,
+                     Crc32(prefix.data(), prefix.size()));
+
+  ERA_ASSIGN_OR_RETURN(auto file, env->NewWritable(path));
+  ERA_RETURN_NOT_OK(
+      file->Append(reinterpret_cast<const char*>(&header), sizeof(header)));
+  ERA_RETURN_NOT_OK(file->Append(prefix.data(), prefix.size()));
+  ERA_RETURN_NOT_OK(file->Append(node_bytes, node_size));
+  ERA_RETURN_NOT_OK(file->Close());
+  if (stats != nullptr) {
+    stats->bytes_written += sizeof(header) + prefix.size() + node_size;
+  }
+  return Status::OK();
+}
+
+Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
+                   std::string* prefix_out, IoStats* stats) {
+  ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
+  Header header;
+  std::size_t got = 0;
+  ERA_RETURN_NOT_OK(file->Read(0, sizeof(header),
+                               reinterpret_cast<char*>(&header), &got));
+  if (got != sizeof(header) ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad sub-tree magic in " + path);
+  }
+  if (header.version != kVersion) {
+    return Status::NotSupported("unsupported sub-tree version in " + path);
+  }
+
+  std::string prefix(header.prefix_len, '\0');
+  ERA_RETURN_NOT_OK(
+      file->Read(sizeof(header), prefix.size(), prefix.data(), &got));
+  if (got != prefix.size()) {
+    return Status::Corruption("truncated prefix in " + path);
+  }
+
+  std::size_t node_bytes = header.node_count * sizeof(TreeNode);
+  tree->mutable_nodes().resize(header.node_count);
+  ERA_RETURN_NOT_OK(file->Read(
+      sizeof(header) + prefix.size(), node_bytes,
+      reinterpret_cast<char*>(tree->mutable_nodes().data()), &got));
+  if (got != node_bytes) {
+    return Status::Corruption("truncated node array in " + path);
+  }
+
+  uint32_t crc = Crc32(tree->mutable_nodes().data(), node_bytes,
+                       Crc32(prefix.data(), prefix.size()));
+  if (crc != header.crc) {
+    return Status::Corruption("CRC mismatch in " + path);
+  }
+  if (header.node_count == 0) {
+    return Status::Corruption("empty sub-tree in " + path);
+  }
+  if (prefix_out != nullptr) *prefix_out = std::move(prefix);
+  if (stats != nullptr) {
+    stats->bytes_read += sizeof(header) + header.prefix_len + node_bytes;
+    ++stats->seeks;  // sub-tree loads are random accesses
+  }
+  return Status::OK();
+}
+
+}  // namespace era

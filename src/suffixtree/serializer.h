@@ -1,0 +1,27 @@
+// Sub-tree persistence: a fixed header + CRC-protected raw node array.
+
+#ifndef ERA_SUFFIXTREE_SERIALIZER_H_
+#define ERA_SUFFIXTREE_SERIALIZER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "io/env.h"
+#include "io/io_stats.h"
+#include "suffixtree/tree_buffer.h"
+
+namespace era {
+
+/// Writes `tree` for S-prefix `prefix` to `path`. Billed to `stats` if given.
+Status WriteSubTree(Env* env, const std::string& path,
+                    const std::string& prefix, const TreeBuffer& tree,
+                    IoStats* stats);
+
+/// Reads a sub-tree back; verifies magic, version and CRC. `prefix_out` may
+/// be nullptr.
+Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
+                   std::string* prefix_out, IoStats* stats);
+
+}  // namespace era
+
+#endif  // ERA_SUFFIXTREE_SERIALIZER_H_

@@ -1,0 +1,3 @@
+// TreeBuffer is header-only; this translation unit anchors the header for
+// build hygiene (include-what-you-use checks compile it standalone).
+#include "suffixtree/tree_buffer.h"

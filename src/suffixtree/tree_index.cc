@@ -1,0 +1,135 @@
+#include "suffixtree/tree_index.h"
+
+#include <sstream>
+
+#include "suffixtree/serializer.h"
+
+namespace era {
+
+namespace {
+
+std::string HexEncode(const std::string& in) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(in.size() * 2);
+  for (unsigned char c : in) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+StatusOr<std::string> HexDecode(const std::string& in) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  if (in.size() % 2 != 0) return Status::Corruption("odd hex length");
+  std::string out;
+  out.reserve(in.size() / 2);
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    int hi = nibble(in[i]);
+    int lo = nibble(in[i + 1]);
+    if (hi < 0 || lo < 0) return Status::Corruption("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace
+
+uint32_t TreeIndex::AddSubTree(const std::string& prefix, uint64_t frequency,
+                               const std::string& filename) {
+  subtrees_.push_back({prefix, frequency, filename});
+  return static_cast<uint32_t>(subtrees_.size() - 1);
+}
+
+Status TreeIndex::Save(Env* env, const std::string& dir) const {
+  std::ostringstream os;
+  os << "format: era-tree-index-v1\n";
+  os << "text_path: " << text_.path << "\n";
+  os << "text_length: " << text_.length << "\n";
+  os << "alphabet: " << text_.alphabet.symbols() << "\n";
+  os << "subtree_count: " << subtrees_.size() << "\n";
+  for (const SubTreeEntry& e : subtrees_) {
+    os << "subtree: " << e.prefix << " " << e.frequency << " " << e.filename
+       << "\n";
+  }
+  os << "trie: " << HexEncode(trie_.Serialize()) << "\n";
+  return env->WriteFile(dir + "/MANIFEST", os.str());
+}
+
+StatusOr<TreeIndex> TreeIndex::Load(Env* env, const std::string& dir) {
+  std::string manifest;
+  ERA_RETURN_NOT_OK(env->ReadFileToString(dir + "/MANIFEST", &manifest));
+
+  TreeIndex index;
+  index.dir_ = dir;
+  std::istringstream is(manifest);
+  std::string line;
+  bool saw_format = false;
+  while (std::getline(is, line)) {
+    std::size_t colon = line.find(": ");
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    std::string value = line.substr(colon + 2);
+    if (key == "format") {
+      if (value != "era-tree-index-v1") {
+        return Status::NotSupported("unknown index format: " + value);
+      }
+      saw_format = true;
+    } else if (key == "text_path") {
+      index.text_.path = value;
+    } else if (key == "text_length") {
+      index.text_.length = std::stoull(value);
+    } else if (key == "alphabet") {
+      ERA_ASSIGN_OR_RETURN(index.text_.alphabet, Alphabet::Create(value));
+    } else if (key == "subtree") {
+      std::istringstream fields(value);
+      SubTreeEntry e;
+      if (!(fields >> e.prefix >> e.frequency >> e.filename)) {
+        return Status::Corruption("bad subtree manifest line: " + line);
+      }
+      index.subtrees_.push_back(std::move(e));
+    } else if (key == "trie") {
+      ERA_ASSIGN_OR_RETURN(std::string blob, HexDecode(value));
+      ERA_ASSIGN_OR_RETURN(index.trie_, PrefixTrie::Deserialize(blob));
+    }
+  }
+  if (!saw_format) return Status::Corruption("manifest missing format line");
+  return index;
+}
+
+StatusOr<std::shared_ptr<const TreeBuffer>> TreeIndex::OpenSubTree(
+    Env* env, uint32_t id, IoStats* stats) const {
+  if (id >= subtrees_.size()) {
+    return Status::InvalidArgument("sub-tree id out of range");
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_->mutex);
+    auto it = cache_->trees.find(id);
+    if (it != cache_->trees.end()) return it->second;
+  }
+  auto tree = std::make_shared<TreeBuffer>();
+  std::string prefix;
+  ERA_RETURN_NOT_OK(ReadSubTree(env, dir_ + "/" + subtrees_[id].filename,
+                                tree.get(), &prefix, stats));
+  if (prefix != subtrees_[id].prefix) {
+    return Status::Corruption("sub-tree prefix mismatch for id " +
+                              std::to_string(id));
+  }
+  std::shared_ptr<const TreeBuffer> shared = std::move(tree);
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->trees.emplace(id, shared);
+  return shared;
+}
+
+void TreeIndex::EvictCache() const {
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  cache_->trees.clear();
+}
+
+uint64_t TreeIndex::TotalSuffixes() const { return trie_.TotalFrequency(0); }
+
+}  // namespace era

@@ -1,0 +1,87 @@
+// The full disk-resident suffix-tree index: trie + sub-tree files + manifest.
+//
+// Every construction algorithm in this repository (ERA, WaveFront, B2ST,
+// TRELLIS) produces a TreeIndex, so validation, canonicalization and the
+// query engine are shared.
+
+#ifndef ERA_SUFFIXTREE_TREE_INDEX_H_
+#define ERA_SUFFIXTREE_TREE_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "io/env.h"
+#include "io/io_stats.h"
+#include "suffixtree/tree_buffer.h"
+#include "suffixtree/trie.h"
+#include "text/corpus.h"
+
+namespace era {
+
+/// One serialized sub-tree in the manifest.
+struct SubTreeEntry {
+  std::string prefix;
+  uint64_t frequency = 0;  // leaf count
+  std::string filename;    // relative to the index directory
+};
+
+/// Disk layout:
+///   <dir>/MANIFEST   key:value text lines + serialized trie blob
+///   <dir>/st_<id>    sub-tree files (serializer.h format)
+class TreeIndex {
+ public:
+  TreeIndex() = default;
+
+  // ---- building side ----
+  void SetText(const TextInfo& text) { text_ = text; }
+  /// Registers a sub-tree file; returns its id.
+  uint32_t AddSubTree(const std::string& prefix, uint64_t frequency,
+                      const std::string& filename);
+  PrefixTrie& mutable_trie() { return trie_; }
+
+  /// Writes MANIFEST into `dir` (sub-tree files must already be there).
+  Status Save(Env* env, const std::string& dir) const;
+
+  // ---- reading side ----
+  static StatusOr<TreeIndex> Load(Env* env, const std::string& dir);
+
+  /// Reads (and caches) sub-tree `id`. Thread-safe.
+  StatusOr<std::shared_ptr<const TreeBuffer>> OpenSubTree(Env* env,
+                                                          uint32_t id,
+                                                          IoStats* stats) const;
+
+  /// Drops cached sub-trees (memory control for sweeps).
+  void EvictCache() const;
+
+  const TextInfo& text() const { return text_; }
+  const PrefixTrie& trie() const { return trie_; }
+  const std::vector<SubTreeEntry>& subtrees() const { return subtrees_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Total number of suffixes indexed (sub-tree frequencies + direct
+  /// leaves); equals text().length when the index is complete.
+  uint64_t TotalSuffixes() const;
+
+ private:
+  // Cache state lives behind a pointer so TreeIndex stays movable despite
+  // the mutex.
+  struct Cache {
+    std::mutex mutex;
+    std::unordered_map<uint32_t, std::shared_ptr<const TreeBuffer>> trees;
+  };
+
+  TextInfo text_;
+  PrefixTrie trie_;
+  std::vector<SubTreeEntry> subtrees_;
+  std::string dir_;
+  std::shared_ptr<Cache> cache_ = std::make_shared<Cache>();
+};
+
+}  // namespace era
+
+#endif  // ERA_SUFFIXTREE_TREE_INDEX_H_

@@ -1,0 +1,88 @@
+#include "text/aho_corasick.h"
+
+#include <deque>
+
+namespace era {
+
+StatusOr<AhoCorasick> AhoCorasick::Build(
+    const std::vector<std::string>& patterns) {
+  AhoCorasick ac;
+  ac.patterns_ = patterns;
+  ac.nodes_.emplace_back();
+  ac.nodes_[0].next.assign(256, kNoTransition);
+
+  for (std::size_t id = 0; id < patterns.size(); ++id) {
+    const std::string& p = patterns[id];
+    if (p.empty()) return Status::InvalidArgument("empty pattern");
+    int32_t cur = 0;
+    for (char c : p) {
+      unsigned char byte = static_cast<unsigned char>(c);
+      if (ac.nodes_[static_cast<std::size_t>(cur)].next[byte] ==
+          kNoTransition) {
+        ac.nodes_.emplace_back();
+        ac.nodes_.back().next.assign(256, kNoTransition);
+        ac.nodes_[static_cast<std::size_t>(cur)].next[byte] =
+            static_cast<int32_t>(ac.nodes_.size() - 1);
+      }
+      cur = ac.nodes_[static_cast<std::size_t>(cur)].next[byte];
+    }
+    ac.nodes_[static_cast<std::size_t>(cur)].matches.push_back(
+        static_cast<int32_t>(id));
+  }
+
+  // BFS to set failure and output links.
+  std::deque<int32_t> queue;
+  for (int b = 0; b < 256; ++b) {
+    int32_t child = ac.nodes_[0].next[b];
+    if (child != kNoTransition) queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    int32_t u = queue.front();
+    queue.pop_front();
+    Node& node = ac.nodes_[static_cast<std::size_t>(u)];
+    for (int b = 0; b < 256; ++b) {
+      int32_t child = node.next[b];
+      if (child == kNoTransition) continue;
+      int32_t f = node.fail;
+      while (f != 0 &&
+             ac.nodes_[static_cast<std::size_t>(f)].next[b] == kNoTransition) {
+        f = ac.nodes_[static_cast<std::size_t>(f)].fail;
+      }
+      int32_t target = ac.nodes_[static_cast<std::size_t>(f)].next[b];
+      if (target != kNoTransition && target != child) {
+        ac.nodes_[static_cast<std::size_t>(child)].fail = target;
+      } else {
+        ac.nodes_[static_cast<std::size_t>(child)].fail = 0;
+      }
+      Node& child_node = ac.nodes_[static_cast<std::size_t>(child)];
+      int32_t cf = child_node.fail;
+      const Node& fail_node = ac.nodes_[static_cast<std::size_t>(cf)];
+      child_node.output_link =
+          fail_node.matches.empty() ? fail_node.output_link : cf;
+      queue.push_back(child);
+    }
+  }
+  return ac;
+}
+
+Status AhoCorasick::ScanAll(
+    StringReader* reader, const std::function<void(int32_t, uint64_t)>& emit) {
+  Reset();
+  reader->BeginScan();
+  const uint32_t kChunk = 64 << 10;
+  std::vector<char> chunk(kChunk);
+  uint64_t pos = 0;
+  const uint64_t size = reader->size();
+  while (pos < size) {
+    uint32_t got = 0;
+    ERA_RETURN_NOT_OK(reader->Fetch(pos, kChunk, chunk.data(), &got));
+    if (got == 0) break;
+    for (uint32_t i = 0; i < got; ++i) {
+      Step(chunk[i], pos + i, emit);
+    }
+    pos += got;
+  }
+  return Status::OK();
+}
+
+}  // namespace era

@@ -1,0 +1,76 @@
+// Multi-pattern matching automaton (Aho-Corasick).
+//
+// Vertical partitioning (frequency counting of the working set) and the
+// occurrence scans that seed L for each sub-tree both need every match of a
+// set of S-prefixes in one sequential pass over S. The automaton is built
+// per working set / per virtual tree; its size is the total pattern length,
+// a few KB in practice.
+
+#ifndef ERA_TEXT_AHO_CORASICK_H_
+#define ERA_TEXT_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/string_reader.h"
+
+namespace era {
+
+/// Matcher for a fixed set of patterns over byte strings. Patterns must be
+/// non-empty. Matches are reported as (pattern_id, start_position).
+class AhoCorasick {
+ public:
+  /// Builds the automaton. Duplicate patterns are allowed (both ids fire).
+  static StatusOr<AhoCorasick> Build(const std::vector<std::string>& patterns);
+
+  /// Feeds one byte; invokes `emit(pattern_id, start_pos)` for every pattern
+  /// ending at this byte. `pos` is the global position of `c`.
+  template <typename Emit>
+  void Step(char c, uint64_t pos, Emit&& emit) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    while (state_ != 0 && nodes_[state_].next[byte] == kNoTransition) {
+      state_ = nodes_[state_].fail;
+    }
+    int32_t next = nodes_[state_].next[byte];
+    state_ = next == kNoTransition ? 0 : next;
+    for (int32_t s = state_; s != 0; s = nodes_[s].output_link) {
+      for (int32_t id : nodes_[s].matches) {
+        emit(id, pos + 1 - patterns_[static_cast<std::size_t>(id)].size());
+      }
+      if (nodes_[s].output_link == 0 && nodes_[s].matches.empty()) break;
+    }
+  }
+
+  /// Resets the automaton to the root state (start of a new scan).
+  void Reset() { state_ = 0; }
+
+  /// Streams the whole file through the automaton (one sequential scan).
+  Status ScanAll(StringReader* reader,
+                 const std::function<void(int32_t, uint64_t)>& emit);
+
+  std::size_t num_patterns() const { return patterns_.size(); }
+  const std::string& pattern(int32_t id) const {
+    return patterns_[static_cast<std::size_t>(id)];
+  }
+
+ private:
+  static constexpr int32_t kNoTransition = -1;
+
+  struct Node {
+    std::vector<int32_t> next;  // 256-wide transition row
+    int32_t fail = 0;
+    int32_t output_link = 0;     // nearest suffix state with matches
+    std::vector<int32_t> matches;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> patterns_;
+  int32_t state_ = 0;
+};
+
+}  // namespace era
+
+#endif  // ERA_TEXT_AHO_CORASICK_H_

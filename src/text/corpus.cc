@@ -1,0 +1,72 @@
+#include "text/corpus.h"
+
+#include "text/text_generator.h"
+
+namespace era {
+
+Alphabet AlphabetFor(CorpusKind kind) {
+  switch (kind) {
+    case CorpusKind::kDna:
+      return Alphabet::Dna();
+    case CorpusKind::kProtein:
+      return Alphabet::Protein();
+    case CorpusKind::kEnglish:
+      return Alphabet::English();
+  }
+  return Alphabet::Dna();
+}
+
+const char* CorpusName(CorpusKind kind) {
+  switch (kind) {
+    case CorpusKind::kDna:
+      return "DNA";
+    case CorpusKind::kProtein:
+      return "Protein";
+    case CorpusKind::kEnglish:
+      return "English";
+  }
+  return "?";
+}
+
+StatusOr<TextInfo> MaterializeCorpus(Env* env, const std::string& path,
+                                     CorpusKind kind, uint64_t body_length,
+                                     uint64_t seed) {
+  TextInfo info;
+  info.path = path;
+  info.length = body_length + 1;
+  info.alphabet = AlphabetFor(kind);
+
+  if (env->FileExists(path)) {
+    auto size = env->FileSize(path);
+    if (size.ok() && *size == info.length) return info;
+  }
+
+  std::string text;
+  switch (kind) {
+    case CorpusKind::kDna:
+      text = GenerateDna(body_length, seed);
+      break;
+    case CorpusKind::kProtein:
+      text = GenerateProtein(body_length, seed);
+      break;
+    case CorpusKind::kEnglish:
+      text = GenerateEnglish(body_length, seed);
+      break;
+  }
+  ERA_RETURN_NOT_OK(env->WriteFile(path, text));
+  return info;
+}
+
+StatusOr<TextInfo> MaterializeText(Env* env, const std::string& path,
+                                   const Alphabet& alphabet,
+                                   const std::string& text) {
+  ERA_RETURN_NOT_OK(alphabet.ValidateText(text));
+  ERA_RETURN_NOT_OK(env->WriteFile(path, text));
+  TextInfo info;
+  info.path = path;
+  info.length = text.size();
+  info.alphabet = alphabet;
+  return info;
+}
+
+}  // namespace era

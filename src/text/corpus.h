@@ -1,0 +1,50 @@
+// Corpus catalog: materializes benchmark datasets as files under an Env and
+// describes them (path, length, alphabet).
+
+#ifndef ERA_TEXT_CORPUS_H_
+#define ERA_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+#include "io/env.h"
+
+namespace era {
+
+/// Families of synthetic datasets mirroring the paper's corpora.
+enum class CorpusKind {
+  kDna,      // 4 symbols, genome-like repeats (stands in for HG18 / DNA)
+  kProtein,  // 20 symbols (stands in for UniProt)
+  kEnglish,  // 26 symbols (stands in for Wikipedia text)
+};
+
+/// A materialized text: where it lives and what it contains. `length` counts
+/// the terminal byte, i.e. it equals n+1 in the paper's notation.
+struct TextInfo {
+  std::string path;
+  uint64_t length = 0;
+  Alphabet alphabet = Alphabet::Dna();
+};
+
+/// Alphabet used by a corpus kind.
+Alphabet AlphabetFor(CorpusKind kind);
+const char* CorpusName(CorpusKind kind);
+
+/// Generates a text of `body_length` symbols (terminal appended) with the
+/// given seed and writes it to `path` under `env`. Regenerating with the same
+/// arguments is deterministic. Skips generation if the file already exists
+/// with the expected size (cheap caching for benchmark sweeps).
+StatusOr<TextInfo> MaterializeCorpus(Env* env, const std::string& path,
+                                     CorpusKind kind, uint64_t body_length,
+                                     uint64_t seed);
+
+/// Writes an arbitrary in-memory text (must already end with the terminal).
+StatusOr<TextInfo> MaterializeText(Env* env, const std::string& path,
+                                   const Alphabet& alphabet,
+                                   const std::string& text);
+
+}  // namespace era
+
+#endif  // ERA_TEXT_CORPUS_H_

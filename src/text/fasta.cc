@@ -1,0 +1,62 @@
+#include "text/fasta.h"
+
+#include <cctype>
+
+namespace era {
+
+StatusOr<std::string> ReadFasta(Env* env, const std::string& path,
+                                const Alphabet& alphabet,
+                                FastaCleanPolicy policy) {
+  std::string raw;
+  ERA_RETURN_NOT_OK(env->ReadFileToString(path, &raw));
+
+  std::string text;
+  text.reserve(raw.size());
+  bool in_header = false;
+  bool saw_record = false;
+  for (char c : raw) {
+    if (c == '>') {
+      in_header = true;
+      saw_record = true;
+      continue;
+    }
+    if (in_header) {
+      if (c == '\n') in_header = false;
+      continue;
+    }
+    if (c == '\n' || c == '\r' || c == ' ' || c == '\t') continue;
+    char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    // English alphabets are lowercase; try the original byte too.
+    char use = alphabet.Contains(u) ? u : c;
+    if (!alphabet.Contains(use)) {
+      if (policy == FastaCleanPolicy::kStrict) {
+        return Status::InvalidArgument(
+            std::string("foreign byte in FASTA sequence: '") + c + "'");
+      }
+      continue;  // kSkip
+    }
+    text.push_back(use);
+  }
+  if (!saw_record) {
+    return Status::InvalidArgument("no FASTA records in " + path);
+  }
+  text.push_back(alphabet.terminal());
+  return text;
+}
+
+Status WriteFasta(Env* env, const std::string& path, const std::string& header,
+                  const std::string& text, std::size_t line_width) {
+  if (line_width == 0) return Status::InvalidArgument("line_width must be > 0");
+  ERA_ASSIGN_OR_RETURN(auto file, env->NewWritable(path));
+  ERA_RETURN_NOT_OK(file->Append(">" + header + "\n"));
+  std::size_t body = text.size();
+  if (body > 0 && text.back() == kTerminal) --body;
+  for (std::size_t i = 0; i < body; i += line_width) {
+    std::size_t n = std::min(line_width, body - i);
+    ERA_RETURN_NOT_OK(file->Append(text.data() + i, n));
+    ERA_RETURN_NOT_OK(file->Append("\n", 1));
+  }
+  return file->Close();
+}
+
+}  // namespace era

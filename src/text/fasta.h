@@ -1,0 +1,37 @@
+// FASTA import/export, so real genome files (e.g. HG18) can be indexed when
+// available locally.
+
+#ifndef ERA_TEXT_FASTA_H_
+#define ERA_TEXT_FASTA_H_
+
+#include <string>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+#include "io/env.h"
+
+namespace era {
+
+/// How to treat bytes outside the target alphabet (e.g. 'N' runs in genomes).
+enum class FastaCleanPolicy {
+  /// Drop them from the concatenated sequence (paper-style preprocessing).
+  kSkip,
+  /// Fail with InvalidArgument.
+  kStrict,
+};
+
+/// Reads a (multi-record) FASTA file from `env`, concatenates the sequence
+/// data of all records, uppercases symbols, applies `policy` to foreign
+/// bytes, appends the terminal, and returns the text.
+StatusOr<std::string> ReadFasta(Env* env, const std::string& path,
+                                const Alphabet& alphabet,
+                                FastaCleanPolicy policy);
+
+/// Writes `text` (terminal stripped) as a single-record FASTA file with
+/// `line_width`-column wrapping.
+Status WriteFasta(Env* env, const std::string& path, const std::string& header,
+                  const std::string& text, std::size_t line_width = 70);
+
+}  // namespace era
+
+#endif  // ERA_TEXT_FASTA_H_

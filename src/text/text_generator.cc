@@ -1,0 +1,142 @@
+#include "text/text_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace era {
+
+namespace {
+
+// Small embedded vocabulary for English-like text (letters only).
+const char* const kWords[] = {
+    "the",     "of",      "and",    "to",     "in",      "is",     "was",
+    "for",     "that",    "with",   "on",     "as",      "are",    "be",
+    "this",    "by",      "from",   "at",     "his",     "it",     "an",
+    "were",    "which",   "have",   "or",     "had",     "not",    "but",
+    "one",     "their",   "also",   "has",    "first",   "new",    "they",
+    "who",     "after",   "its",    "been",   "other",   "when",   "during",
+    "all",     "into",    "there",  "time",   "more",    "two",    "school",
+    "may",     "years",   "over",   "only",   "city",    "some",   "world",
+    "where",   "later",   "state",  "between", "national", "used",  "most",
+    "made",    "then",    "about",  "known",  "these",   "family", "year",
+    "while",   "would",   "team",   "season", "american", "series", "became",
+    "against", "can",     "early",  "part",   "being",   "under",  "both",
+    "however", "began",   "him",    "her",    "many",    "people", "area",
+    "work",    "music",   "history", "life",  "university", "game", "called",
+    "south",   "north",   "included", "second", "three", "company", "film",
+    "number",  "album",   "following", "war",  "until",  "since",  "such",
+    "born",    "released", "played", "found", "house",   "station", "before",
+    "through", "several", "four",   "although", "name",  "village", "district",
+    "county",  "within",  "former", "church", "located", "league", "well",
+    "best",    "group",   "band",   "club",   "each",    "member", "water",
+};
+constexpr std::size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+
+std::vector<double> ZipfWeights(std::size_t n, double skew) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = skew == 0.0 ? 1.0 : 1.0 / std::pow(static_cast<double>(i + 1), skew);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::string GenerateText(const Alphabet& alphabet, uint64_t length,
+                         uint64_t seed, const GeneratorOptions& options) {
+  std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  const int k = alphabet.size();
+  auto base = ZipfWeights(static_cast<std::size_t>(k), options.zipf_skew);
+
+  // Order-1 Markov rows: each row is the base distribution with extra mass on
+  // a row-specific "preferred" set, so transition structure is nontrivial.
+  std::vector<std::discrete_distribution<int>> rows;
+  rows.reserve(static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    std::vector<double> w = base;
+    if (options.markov_strength > 0.0) {
+      double total = 0.0;
+      for (double v : w) total += v;
+      // Push mass toward a deterministic pseudo-random pair of successors.
+      std::size_t a = static_cast<std::size_t>((r * 7 + 3) % k);
+      std::size_t b = static_cast<std::size_t>((r * 13 + 5) % k);
+      w[a] += total * options.markov_strength;
+      w[b] += total * options.markov_strength * 0.5;
+    }
+    rows.emplace_back(w.begin(), w.end());
+  }
+
+  std::string text;
+  text.reserve(length + 1);
+  int prev = 0;
+  std::geometric_distribution<uint64_t> repeat_len(
+      1.0 / std::max(1.0, options.mean_repeat_length));
+
+  while (text.size() < length) {
+    if (options.repeat_rate > 0.0 && text.size() > 64 &&
+        coin(rng) < options.repeat_rate) {
+      // Copy an earlier segment (creates a long repeated substring).
+      uint64_t len = std::min<uint64_t>(repeat_len(rng) + 8,
+                                        length - text.size());
+      std::uniform_int_distribution<uint64_t> src_dist(
+          0, text.size() - std::min<uint64_t>(text.size(), len) );
+      uint64_t src = src_dist(rng);
+      uint64_t avail = std::min<uint64_t>(len, text.size() - src);
+      // append may reallocate; copy via index loop to allow overlap.
+      for (uint64_t i = 0; i < avail && text.size() < length; ++i) {
+        text.push_back(text[src + i]);
+      }
+      if (!text.empty()) prev = alphabet.Code(text.back());
+      continue;
+    }
+    int code = rows[static_cast<std::size_t>(prev)](rng);
+    text.push_back(alphabet.Symbol(code));
+    prev = code;
+  }
+  text.push_back(alphabet.terminal());
+  return text;
+}
+
+std::string GenerateDna(uint64_t length, uint64_t seed) {
+  GeneratorOptions options;
+  // Copies cover ~#(rate*mean) of every (rate*mean + 1-rate) emitted
+  // symbols: ~23% repeat-derived text, genome-like without degenerating
+  // into copies-of-copies.
+  options.repeat_rate = 0.001;
+  options.mean_repeat_length = 300.0;
+  options.zipf_skew = 0.0;
+  options.markov_strength = 0.35;
+  return GenerateText(Alphabet::Dna(), length, seed, options);
+}
+
+std::string GenerateProtein(uint64_t length, uint64_t seed) {
+  GeneratorOptions options;
+  options.repeat_rate = 0.0005;
+  options.mean_repeat_length = 60.0;
+  options.zipf_skew = 0.6;
+  options.markov_strength = 0.15;
+  return GenerateText(Alphabet::Protein(), length, seed, options);
+}
+
+std::string GenerateEnglish(uint64_t length, uint64_t seed) {
+  std::mt19937_64 rng(seed * 0xA24BAED4963EE407ull + 7);
+  auto weights = ZipfWeights(kNumWords, 1.0);
+  std::discrete_distribution<std::size_t> words(weights.begin(),
+                                                weights.end());
+  std::string text;
+  text.reserve(length + 1);
+  while (text.size() < length) {
+    const char* w = kWords[words(rng)];
+    for (const char* p = w; *p != '\0' && text.size() < length; ++p) {
+      text.push_back(*p);
+    }
+  }
+  text.push_back(kTerminal);
+  return text;
+}
+
+}  // namespace era

@@ -1,0 +1,53 @@
+// Seeded synthetic text generators.
+//
+// The paper evaluates on the human genome, concatenated DNA, UniProt protein
+// and Wikipedia English. Those corpora are not redistributable here, so the
+// benchmarks use synthetic equivalents with the properties that drive
+// suffix-tree construction cost: alphabet size, symbol distribution skew, and
+// repeat structure (long repeats determine tree depth / |LP|). See DESIGN.md
+// §4 for the substitution rationale.
+
+#ifndef ERA_TEXT_TEXT_GENERATOR_H_
+#define ERA_TEXT_TEXT_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "alphabet/alphabet.h"
+
+namespace era {
+
+/// Tuning knobs for synthetic text.
+struct GeneratorOptions {
+  /// Probability, per emitted position, of starting a copy of an earlier
+  /// segment instead of sampling fresh symbols. Repeats are what give real
+  /// genomes deep suffix trees.
+  double repeat_rate = 0.01;
+  /// Mean length of an injected repeat (geometric).
+  double mean_repeat_length = 200.0;
+  /// Zipf skew for symbol frequencies (0 = uniform).
+  double zipf_skew = 0.0;
+  /// Order-1 Markov correlation strength in [0,1): probability mass pulled
+  /// toward repeating the previous symbol's row.
+  double markov_strength = 0.3;
+};
+
+/// Generates `length` body symbols over `alphabet` and appends the terminal.
+/// Deterministic in (alphabet, length, seed, options).
+std::string GenerateText(const Alphabet& alphabet, uint64_t length,
+                         uint64_t seed, const GeneratorOptions& options);
+
+/// DNA-flavored defaults (moderate repeats, Markov structure) — stands in for
+/// genome/DNA datasets.
+std::string GenerateDna(uint64_t length, uint64_t seed);
+
+/// Protein-flavored defaults (20 symbols, skewed frequencies, fewer repeats).
+std::string GenerateProtein(uint64_t length, uint64_t seed);
+
+/// English-flavored text: Zipf-sampled words from an embedded vocabulary,
+/// letters only (the paper's English set has |Σ| = 26).
+std::string GenerateEnglish(uint64_t length, uint64_t seed);
+
+}  // namespace era
+
+#endif  // ERA_TEXT_TEXT_GENERATOR_H_

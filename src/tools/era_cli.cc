@@ -1,0 +1,232 @@
+// era_cli — command-line front end for the library.
+//
+//   era_cli build  <text-file> <index-dir> [--budget-mb N] [--alphabet dna|
+//                  protein|english] [--threads N] [--algorithm era|wavefront]
+//   era_cli query  <index-dir> <pattern> [--limit N]
+//   era_cli stats  <index-dir>
+//   era_cli verify <index-dir>            (loads text + validates everything)
+//   era_cli generate <out-file> <dna|protein|english> <bytes> [seed]
+//
+// The text file must be raw symbols; a trailing terminal byte ('~') is
+// appended if missing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "era/era_builder.h"
+#include "era/parallel_builder.h"
+#include "io/env.h"
+#include "query/query_engine.h"
+#include "suffixtree/validator.h"
+#include "text/corpus.h"
+#include "text/text_generator.h"
+#include "wavefront/wavefront.h"
+
+namespace era {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  era_cli build  <text-file> <index-dir> [--budget-mb N]\n"
+      "                 [--alphabet dna|protein|english] [--threads N]\n"
+      "                 [--algorithm era|wavefront]\n"
+      "  era_cli query  <index-dir> <pattern> [--limit N]\n"
+      "  era_cli stats  <index-dir>\n"
+      "  era_cli verify <index-dir>\n"
+      "  era_cli generate <out-file> <dna|protein|english> <bytes> [seed]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<Alphabet> ParseAlphabet(const std::string& name) {
+  if (name == "dna") return Alphabet::Dna();
+  if (name == "protein") return Alphabet::Protein();
+  if (name == "english") return Alphabet::English();
+  return Status::InvalidArgument("unknown alphabet: " + name);
+}
+
+/// Returns the value of --flag from args, or `fallback`.
+std::string FlagValue(const std::vector<std::string>& args,
+                      const std::string& flag, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+int CmdBuild(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  Env* env = GetDefaultEnv();
+  const std::string text_path = args[0];
+  const std::string index_dir = args[1];
+
+  auto alphabet_or = ParseAlphabet(FlagValue(args, "--alphabet", "dna"));
+  if (!alphabet_or.ok()) return Fail(alphabet_or.status());
+  Alphabet alphabet = *alphabet_or;
+  uint64_t budget =
+      std::strtoull(FlagValue(args, "--budget-mb", "64").c_str(), nullptr, 10)
+      << 20;
+  unsigned threads = static_cast<unsigned>(
+      std::strtoul(FlagValue(args, "--threads", "1").c_str(), nullptr, 10));
+  std::string algorithm = FlagValue(args, "--algorithm", "era");
+
+  // Ensure the text ends with the terminal.
+  std::string text;
+  if (Status s = env->ReadFileToString(text_path, &text); !s.ok()) {
+    return Fail(s);
+  }
+  std::string effective_path = text_path;
+  if (text.empty() || text.back() != kTerminal) {
+    text.push_back(kTerminal);
+    effective_path = text_path + ".era";
+    if (Status s = env->WriteFile(effective_path, text); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("appended terminal; indexing %s\n", effective_path.c_str());
+  }
+  if (Status s = alphabet.ValidateText(text); !s.ok()) return Fail(s);
+
+  TextInfo info;
+  info.path = effective_path;
+  info.length = text.size();
+  info.alphabet = alphabet;
+
+  BuildOptions options;
+  options.work_dir = index_dir;
+  options.memory_budget = budget;
+
+  BuildStats stats;
+  if (algorithm == "wavefront" && threads <= 1) {
+    WaveFrontBuilder builder(options);
+    auto result = builder.Build(info);
+    if (!result.ok()) return Fail(result.status());
+    stats = result->stats;
+  } else if (threads > 1) {
+    ParallelAlgorithm pa = algorithm == "wavefront"
+                               ? ParallelAlgorithm::kWaveFront
+                               : ParallelAlgorithm::kEra;
+    ParallelBuilder builder(options, threads, pa);
+    auto result = builder.Build(info);
+    if (!result.ok()) return Fail(result.status());
+    stats = result->stats;
+  } else {
+    EraBuilder builder(options);
+    auto result = builder.Build(info);
+    if (!result.ok()) return Fail(result.status());
+    stats = result->stats;
+  }
+  std::printf("%s\n", stats.ToString().c_str());
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto engine = QueryEngine::Open(GetDefaultEnv(), args[0]);
+  if (!engine.ok()) return Fail(engine.status());
+  std::size_t limit = static_cast<std::size_t>(
+      std::strtoull(FlagValue(args, "--limit", "10").c_str(), nullptr, 10));
+
+  auto count = (*engine)->Count(args[1]);
+  if (!count.ok()) return Fail(count.status());
+  auto hits = (*engine)->Locate(args[1], limit);
+  if (!hits.ok()) return Fail(hits.status());
+  std::printf("%llu occurrence(s)", static_cast<unsigned long long>(*count));
+  if (!hits->empty()) {
+    std::printf("; first %zu:", hits->size());
+    for (uint64_t h : *hits) {
+      std::printf(" %llu", static_cast<unsigned long long>(h));
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  auto index = TreeIndex::Load(GetDefaultEnv(), args[0]);
+  if (!index.ok()) return Fail(index.status());
+  std::printf("text: %s (%llu symbols incl. terminal)\n",
+              index->text().path.c_str(),
+              static_cast<unsigned long long>(index->text().length));
+  std::printf("alphabet: %s (+terminal)\n",
+              index->text().alphabet.symbols().c_str());
+  std::printf("sub-trees: %zu\n", index->subtrees().size());
+  std::printf("indexed suffixes: %llu\n",
+              static_cast<unsigned long long>(index->TotalSuffixes()));
+  std::printf("trie nodes: %u (%llu bytes)\n", index->trie().size(),
+              static_cast<unsigned long long>(index->trie().MemoryBytes()));
+  uint64_t max_freq = 0;
+  for (const auto& entry : index->subtrees()) {
+    max_freq = std::max(max_freq, entry.frequency);
+  }
+  std::printf("largest sub-tree: %llu leaves\n",
+              static_cast<unsigned long long>(max_freq));
+  return 0;
+}
+
+int CmdVerify(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Env* env = GetDefaultEnv();
+  auto index = TreeIndex::Load(env, args[0]);
+  if (!index.ok()) return Fail(index.status());
+  std::string text;
+  if (Status s = env->ReadFileToString(index->text().path, &text); !s.ok()) {
+    return Fail(s);
+  }
+  if (Status s = ValidateIndex(env, *index, text); !s.ok()) {
+    std::printf("INVALID: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: %zu sub-trees, %llu suffixes, all invariants hold\n",
+              index->subtrees().size(),
+              static_cast<unsigned long long>(index->TotalSuffixes()));
+  return 0;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  if (args.size() < 3) return Usage();
+  uint64_t bytes = std::strtoull(args[2].c_str(), nullptr, 10);
+  uint64_t seed = args.size() > 3
+                      ? std::strtoull(args[3].c_str(), nullptr, 10)
+                      : 42;
+  std::string text;
+  if (args[1] == "dna") {
+    text = GenerateDna(bytes, seed);
+  } else if (args[1] == "protein") {
+    text = GenerateProtein(bytes, seed);
+  } else if (args[1] == "english") {
+    text = GenerateEnglish(bytes, seed);
+  } else {
+    return Usage();
+  }
+  if (Status s = GetDefaultEnv()->WriteFile(args[0], text); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("wrote %zu bytes (terminal included) to %s\n", text.size(),
+              args[0].c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace era
+
+int main(int argc, char** argv) {
+  if (argc < 2) return era::Usage();
+  std::vector<std::string> args(argv + 2, argv + argc);
+  std::string command = argv[1];
+  if (command == "build") return era::CmdBuild(args);
+  if (command == "query") return era::CmdQuery(args);
+  if (command == "stats") return era::CmdStats(args);
+  if (command == "verify") return era::CmdVerify(args);
+  if (command == "generate") return era::CmdGenerate(args);
+  return era::Usage();
+}

@@ -1,0 +1,53 @@
+// TRELLIS baseline (Phoophakdee & Zaki, SIGMOD 2007 — reference [13]).
+//
+// The semi-disk-based approach as this paper's Section 3 describes it:
+//   * requires the input string S to fit in main memory (the paper's plots
+//     for TRELLIS start only once that holds; we return NotSupported
+//     otherwise). S is held bit-packed (2 bits/symbol for DNA, 5 for
+//     protein/English — the encoding Section 6.1 discusses);
+//   * phase 1 partitions S into segments, builds the suffix sub-trees of
+//     each segment split by a global set of variable-length prefixes, and
+//     stores every (segment, prefix) sub-tree on disk — ~an order of
+//     magnitude more bytes than S;
+//   * phase 2 merges, for each prefix, the sub-trees of all segments into
+//     the final sub-tree. The loads are random disk I/O over a forest ~26x
+//     the input — the merge-phase bottleneck the paper measures in
+//     Figure 10(a).
+//
+// The merge is a real structural k-way suffix-tree merge (edges compared
+// symbol-by-symbol against the in-memory S).
+
+#ifndef ERA_TRELLIS_TRELLIS_H_
+#define ERA_TRELLIS_TRELLIS_H_
+
+#include <vector>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "era/era_builder.h"
+#include "suffixtree/tree_buffer.h"
+#include "text/corpus.h"
+
+namespace era {
+
+/// Merges sub-trees (over the same text) into one. Exposed for tests.
+/// `cursors` are the roots of the trees to merge; all trees must index
+/// disjoint leaf sets of suffixes of `text`.
+StatusOr<TreeBuffer> MergeSubTrees(const std::vector<const TreeBuffer*>& trees,
+                                   const std::string& text);
+
+/// The semi-disk-based TRELLIS builder.
+class TrellisBuilder {
+ public:
+  explicit TrellisBuilder(const BuildOptions& options) : options_(options) {}
+
+  /// Fails with NotSupported if S does not fit in the memory budget.
+  StatusOr<BuildResult> Build(const TextInfo& text);
+
+ private:
+  BuildOptions options_;
+};
+
+}  // namespace era
+
+#endif  // ERA_TRELLIS_TRELLIS_H_

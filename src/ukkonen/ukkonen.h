@@ -1,0 +1,26 @@
+// Ukkonen's online O(n) in-memory suffix tree construction.
+//
+// The in-memory representative of Table 2 and the correctness oracle for the
+// disk-based builders. Requires the whole text (with unique trailing
+// terminal) in memory; it is intentionally *not* instrumented — the paper's
+// point is precisely that this class of algorithm loses once data exceeds
+// RAM (poor locality of reference).
+
+#ifndef ERA_UKKONEN_UKKONEN_H_
+#define ERA_UKKONEN_UKKONEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "suffixtree/tree_buffer.h"
+
+namespace era {
+
+/// Builds the suffix tree of `text` (must end with the unique terminal byte)
+/// and returns it in the shared TreeBuffer representation with children in
+/// lexicographic order.
+StatusOr<TreeBuffer> BuildUkkonenTree(const std::string& text);
+
+}  // namespace era
+
+#endif  // ERA_UKKONEN_UKKONEN_H_

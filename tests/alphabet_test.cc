@@ -1,0 +1,128 @@
+#include "alphabet/alphabet.h"
+
+#include <gtest/gtest.h>
+
+#include "alphabet/encoded_string.h"
+#include "tests/test_util.h"
+
+namespace era {
+namespace {
+
+TEST(AlphabetTest, DnaBasics) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_EQ(dna.size(), 4);
+  EXPECT_EQ(dna.bits_per_symbol(), 2);
+  EXPECT_EQ(dna.Code('A'), 0);
+  EXPECT_EQ(dna.Code('C'), 1);
+  EXPECT_EQ(dna.Code('G'), 2);
+  EXPECT_EQ(dna.Code('T'), 3);
+  EXPECT_EQ(dna.Code(kTerminal), 4);  // terminal sorts last
+  EXPECT_EQ(dna.Code('X'), -1);
+  EXPECT_TRUE(dna.Contains('G'));
+  EXPECT_FALSE(dna.Contains(kTerminal));
+}
+
+TEST(AlphabetTest, ProteinAndEnglishSizes) {
+  EXPECT_EQ(Alphabet::Protein().size(), 20);
+  EXPECT_EQ(Alphabet::Protein().bits_per_symbol(), 5);
+  EXPECT_EQ(Alphabet::English().size(), 26);
+  EXPECT_EQ(Alphabet::English().bits_per_symbol(), 5);
+}
+
+TEST(AlphabetTest, SymbolCodeRoundTrip) {
+  for (const Alphabet& a :
+       {Alphabet::Dna(), Alphabet::Protein(), Alphabet::English()}) {
+    for (int code = 0; code <= a.size(); ++code) {
+      EXPECT_EQ(a.Code(a.Symbol(code)), code);
+    }
+  }
+}
+
+TEST(AlphabetTest, TerminalSortsAfterAllSymbols) {
+  for (const Alphabet& a :
+       {Alphabet::Dna(), Alphabet::Protein(), Alphabet::English()}) {
+    for (char c : a.symbols()) {
+      EXPECT_LT(c, a.terminal())
+          << "terminal must be the largest byte (paper's $-last ordering)";
+    }
+  }
+}
+
+TEST(AlphabetTest, CreateRejectsBadInput) {
+  EXPECT_FALSE(Alphabet::Create("").ok());
+  EXPECT_FALSE(Alphabet::Create("CA").ok());    // not ascending
+  EXPECT_FALSE(Alphabet::Create("AA").ok());    // duplicate
+  EXPECT_FALSE(Alphabet::Create("A~").ok());    // >= terminal
+  EXPECT_TRUE(Alphabet::Create("xyz").ok());
+}
+
+TEST(AlphabetTest, ValidateText) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_TRUE(dna.ValidateText("ACGT~").ok());
+  EXPECT_FALSE(dna.ValidateText("ACGT").ok());   // no terminal
+  EXPECT_FALSE(dna.ValidateText("ACXT~").ok());  // foreign symbol
+  EXPECT_FALSE(dna.ValidateText("").ok());
+  EXPECT_TRUE(dna.ValidateText("~").ok());  // empty body is legal
+}
+
+struct EncodedStringCase {
+  const char* name;
+  Alphabet alphabet;
+  std::size_t length;
+  uint64_t seed;
+};
+
+class EncodedStringRoundTrip
+    : public ::testing::TestWithParam<EncodedStringCase> {};
+
+TEST_P(EncodedStringRoundTrip, AtMatchesOriginal) {
+  const auto& param = GetParam();
+  std::string text =
+      testing::RandomText(param.alphabet, param.length, param.seed);
+  auto encoded = EncodedString::Encode(param.alphabet, text);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_EQ(encoded->size(), text.size());
+  for (uint64_t i = 0; i < text.size(); ++i) {
+    ASSERT_EQ(encoded->At(i), text[i]) << "position " << i;
+  }
+}
+
+TEST_P(EncodedStringRoundTrip, ExtractMatchesSubstr) {
+  const auto& param = GetParam();
+  std::string text =
+      testing::RandomText(param.alphabet, param.length, param.seed + 1);
+  auto encoded = EncodedString::Encode(param.alphabet, text);
+  ASSERT_TRUE(encoded.ok());
+  char buf[64];
+  for (uint64_t pos = 0; pos < text.size(); pos += 37) {
+    uint32_t got = encoded->Extract(pos, 64, buf);
+    EXPECT_EQ(std::string(buf, got), text.substr(pos, 64));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Alphabets, EncodedStringRoundTrip,
+    ::testing::Values(
+        EncodedStringCase{"dna_small", Alphabet::Dna(), 100, 1},
+        EncodedStringCase{"dna_large", Alphabet::Dna(), 10000, 2},
+        EncodedStringCase{"protein", Alphabet::Protein(), 5000, 3},
+        EncodedStringCase{"english", Alphabet::English(), 5000, 4},
+        EncodedStringCase{"empty_body", Alphabet::Dna(), 0, 5},
+        EncodedStringCase{"one_symbol", Alphabet::Dna(), 1, 6}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(EncodedStringTest, DnaUsesTwoBitsPerSymbol) {
+  std::string text = testing::RandomText(Alphabet::Dna(), 64000, 9);
+  auto encoded = EncodedString::Encode(Alphabet::Dna(), text);
+  ASSERT_TRUE(encoded.ok());
+  // 64000 symbols at 2 bits = 16000 bytes (+ one spill word + rounding).
+  EXPECT_LE(encoded->MemoryBytes(), 16100u);
+}
+
+TEST(EncodedStringTest, RejectsInvalidText) {
+  EXPECT_FALSE(EncodedString::Encode(Alphabet::Dna(), "ACGT").ok());
+  EXPECT_FALSE(EncodedString::Encode(Alphabet::Dna(), "AXA~").ok());
+}
+
+}  // namespace
+}  // namespace era

@@ -1,0 +1,195 @@
+// Adversarial and degenerate inputs through the full ERA pipeline: unary
+// strings (maximum LCP chains), alternating strings, de-Bruijn-like dense
+// strings, single-symbol bodies, and pathological prefix structures.
+
+#include <gtest/gtest.h>
+
+#include "era/era_builder.h"
+#include "era/range_policy.h"
+#include "era/subtree_prepare.h"
+#include "io/mem_env.h"
+#include "suffixtree/validator.h"
+#include "tests/test_util.h"
+
+namespace era {
+namespace {
+
+/// Builds with ERA and checks the result against the oracle.
+void BuildAndVerify(const std::string& text, const Alphabet& alphabet,
+                    uint64_t budget = 1 << 20) {
+  MemEnv env;
+  auto info = MaterializeText(&env, "/text", alphabet, text);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  BuildOptions options;
+  options.env = &env;
+  options.work_dir = "/idx";
+  options.memory_budget = budget;
+  options.input_buffer_bytes = 4096;
+  EraBuilder builder(options);
+  auto result = builder.Build(*info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(testing::IndexMatchesOracle(&env, result->index, text));
+  EXPECT_TRUE(ValidateIndex(&env, result->index, text).ok());
+}
+
+TEST(EdgeCaseTest, TerminalOnlyText) {
+  BuildAndVerify(std::string(1, kTerminal), Alphabet::Dna());
+}
+
+TEST(EdgeCaseTest, SingleSymbolBody) { BuildAndVerify("A~", Alphabet::Dna()); }
+
+TEST(EdgeCaseTest, TwoSymbolBody) { BuildAndVerify("AC~", Alphabet::Dna()); }
+
+TEST(EdgeCaseTest, UnaryString) {
+  // a^n: every suffix is a prefix of the previous; adjacent LCPs are n-1,
+  // n-2, ... — the deepest possible tree.
+  for (std::size_t n : {3u, 17u, 100u, 1000u}) {
+    BuildAndVerify(std::string(n, 'A') + '~', Alphabet::Dna());
+  }
+}
+
+TEST(EdgeCaseTest, AlternatingString) {
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += "AC";
+  BuildAndVerify(text + '~', Alphabet::Dna());
+}
+
+TEST(EdgeCaseTest, PeriodicWithLongPeriod) {
+  std::string unit = "ACGTTGCAACGG";
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += unit;
+  BuildAndVerify(text + '~', Alphabet::Dna());
+}
+
+TEST(EdgeCaseTest, DenseKmerCoverage) {
+  // All 3-mers over {A,C,G,T} concatenated: every short prefix occurs.
+  std::string text;
+  const char* sym = "ACGT";
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      for (int c = 0; c < 4; ++c) {
+        text += sym[a];
+        text += sym[b];
+        text += sym[c];
+      }
+    }
+  }
+  BuildAndVerify(text + '~', Alphabet::Dna());
+}
+
+TEST(EdgeCaseTest, PalindromeHeavy) {
+  std::string half = testing::RandomText(Alphabet::Dna(), 400, 5);
+  half.pop_back();
+  std::string text = half;
+  text.append(half.rbegin(), half.rend());
+  BuildAndVerify(text + '~', Alphabet::Dna());
+}
+
+TEST(EdgeCaseTest, TinyBudgetOnRepetitiveText) {
+  // Tight memory on a nasty string: many sub-trees, deep prefixes.
+  std::string text = testing::RepetitiveText(Alphabet::Dna(), 30000, 6);
+  BuildAndVerify(text, Alphabet::Dna(), 80 << 10);
+}
+
+TEST(EdgeCaseTest, SingleCharacterAlphabet) {
+  auto unary = Alphabet::Create("x");
+  ASSERT_TRUE(unary.ok());
+  BuildAndVerify(std::string(300, 'x') + '~', *unary);
+}
+
+TEST(EdgeCaseTest, TwoCharacterAlphabetThueMorse) {
+  // Thue-Morse sequence: overlap-free, worst-case-ish branching structure.
+  std::string text = "a";
+  while (text.size() < 2048) {
+    std::string flipped;
+    for (char c : text) flipped += (c == 'a' ? 'b' : 'a');
+    text += flipped;
+  }
+  auto ab = Alphabet::Create("ab");
+  ASSERT_TRUE(ab.ok());
+  BuildAndVerify(text + '~', *ab);
+}
+
+TEST(EdgeCaseTest, GroupPreparerWithManyPrefixesInOneGroup) {
+  // A virtual tree holding every 2-mer: the shared-scan machinery must
+  // interleave many states without confusing their request streams.
+  MemEnv env;
+  std::string text = testing::RandomText(Alphabet::Dna(), 20000, 7);
+  ASSERT_TRUE(env.WriteFile("/s", text).ok());
+
+  VirtualTree group;
+  const char* sym = "ACGT";
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      std::string p{sym[a], sym[b]};
+      uint64_t freq = 0;
+      for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+        if (text.compare(i, 2, p) == 0) ++freq;
+      }
+      if (freq > 0) group.prefixes.push_back({p, freq});
+    }
+  }
+  IoStats stats;
+  auto reader = OpenStringReader(&env, "/s", {}, &stats);
+  ASSERT_TRUE(reader.ok());
+  GroupPreparer preparer(group, RangePolicy::Elastic(1 << 16, 4, 1024),
+                         reader->get(), text.size());
+  ASSERT_TRUE(preparer.Run().ok());
+
+  // Every prefix's (L, B) must match the oracle slice.
+  SaLcp oracle = testing::OracleSaLcp(text);
+  for (auto& prepared : preparer.results()) {
+    std::vector<uint64_t> expected_sa;
+    std::vector<uint64_t> expected_lcp;
+    for (std::size_t i = 0; i < oracle.sa.size(); ++i) {
+      if (text.compare(oracle.sa[i], prepared.prefix.size(),
+                       prepared.prefix) == 0) {
+        if (!expected_sa.empty()) expected_lcp.push_back(oracle.lcp[i - 1]);
+        expected_sa.push_back(oracle.sa[i]);
+      }
+    }
+    ASSERT_EQ(prepared.leaves, expected_sa) << prepared.prefix;
+    for (std::size_t i = 1; i < prepared.branches.size(); ++i) {
+      ASSERT_TRUE(prepared.branches[i].defined);
+      ASSERT_EQ(prepared.branches[i].offset, expected_lcp[i - 1])
+          << prepared.prefix << " bond " << i;
+    }
+  }
+}
+
+TEST(EdgeCaseTest, FixedRangeOneSymbol) {
+  // range = 1 degenerates SubTreePrepare to symbol-by-symbol refinement —
+  // the slowest correct configuration.
+  MemEnv env;
+  std::string text = testing::RandomText(Alphabet::Dna(), 2000, 8);
+  auto info = MaterializeText(&env, "/text", Alphabet::Dna(), text);
+  ASSERT_TRUE(info.ok());
+  BuildOptions options;
+  options.env = &env;
+  options.work_dir = "/idx";
+  options.memory_budget = 1 << 20;
+  options.input_buffer_bytes = 4096;
+  options.range_policy = RangePolicyKind::kFixed;
+  options.fixed_range = 1;
+  EraBuilder builder(options);
+  auto result = builder.Build(*info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(testing::IndexMatchesOracle(&env, result->index, text));
+}
+
+TEST(EdgeCaseTest, SweepSeedsForFuzzCoverage) {
+  // Small randomized sweep: every seed builds and validates.
+  for (uint64_t seed = 100; seed < 112; ++seed) {
+    std::string text = seed % 2 == 0
+                           ? testing::RandomText(Alphabet::Dna(),
+                                                 500 + seed * 37, seed)
+                           : testing::RepetitiveText(Alphabet::Protein(),
+                                                     500 + seed * 29, seed);
+    const Alphabet alphabet =
+        seed % 2 == 0 ? Alphabet::Dna() : Alphabet::Protein();
+    BuildAndVerify(text, alphabet, 256 << 10);
+  }
+}
+
+}  // namespace
+}  // namespace era

@@ -1,0 +1,218 @@
+// Shared-memory and shared-nothing parallel construction: identical output
+// to the serial builder, clean work division, and coherent phase accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "era/cluster_builder.h"
+#include "era/parallel_builder.h"
+#include "io/mem_env.h"
+#include "suffixtree/validator.h"
+#include "tests/test_util.h"
+
+namespace era {
+namespace {
+
+struct Workload {
+  MemEnv env;
+  TextInfo info;
+  std::string text;
+};
+
+std::unique_ptr<Workload> MakeWorkload(std::size_t length, uint64_t seed) {
+  auto w = std::make_unique<Workload>();
+  w->text = testing::RepetitiveText(Alphabet::Dna(), length, seed);
+  auto info = MaterializeText(&w->env, "/text", Alphabet::Dna(), w->text);
+  EXPECT_TRUE(info.ok());
+  w->info = *info;
+  return w;
+}
+
+BuildOptions BaseOptions(Env* env, const std::string& dir) {
+  BuildOptions options;
+  options.env = env;
+  options.work_dir = dir;
+  options.memory_budget = 2 << 20;
+  options.input_buffer_bytes = 4096;
+  return options;
+}
+
+class ParallelWorkers : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ParallelWorkers, MatchesOracleAndSerial) {
+  unsigned workers = GetParam();
+  auto w = MakeWorkload(20000, 51);
+
+  ParallelBuilder builder(BaseOptions(&w->env, "/par"), workers);
+  auto result = builder.Build(w->info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(testing::IndexMatchesOracle(&w->env, result->index, w->text));
+  EXPECT_TRUE(ValidateIndex(&w->env, result->index, w->text).ok());
+  EXPECT_EQ(result->worker_seconds.size(), workers);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParallelWorkers,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const auto& info) {
+                           return "workers_" + std::to_string(info.param);
+                         });
+
+TEST(ParallelBuilderTest, OutputIdenticalAcrossWorkerCounts) {
+  auto w = MakeWorkload(15000, 52);
+  std::vector<uint64_t> reference;
+  for (unsigned workers : {1u, 3u, 7u}) {
+    ParallelBuilder builder(
+        BaseOptions(&w->env, "/par" + std::to_string(workers)), workers);
+    auto result = builder.Build(w->info);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto order = testing::GlobalLeafOrder(&w->env, result->index);
+    ASSERT_TRUE(order.ok());
+    if (reference.empty()) {
+      reference = *order;
+    } else {
+      EXPECT_EQ(*order, reference) << workers << " workers diverged";
+    }
+  }
+}
+
+TEST(ParallelBuilderTest, PerCoreBudgetShrinksFm) {
+  // Dividing memory across cores lowers FM (more, smaller sub-trees): the
+  // contention mechanism behind Figure 12(a)'s 8-core knee.
+  auto w = MakeWorkload(15000, 53);
+  ParallelBuilder one(BaseOptions(&w->env, "/p1"), 1);
+  ParallelBuilder eight(BaseOptions(&w->env, "/p8"), 8);
+  auto r1 = one.Build(w->info);
+  auto r8 = eight.Build(w->info);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r8.ok());
+  EXPECT_GT(r1->stats.fm, r8->stats.fm);
+  EXPECT_LE(r1->stats.num_subtrees, r8->stats.num_subtrees);
+}
+
+TEST(ParallelBuilderTest, WaveFrontVariantMatchesOracle) {
+  auto w = MakeWorkload(10000, 54);
+  ParallelBuilder builder(BaseOptions(&w->env, "/pwf"), 4,
+                          ParallelAlgorithm::kWaveFront);
+  auto result = builder.Build(w->info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(testing::IndexMatchesOracle(&w->env, result->index, w->text));
+}
+
+ClusterOptions MakeCluster(unsigned nodes) {
+  ClusterOptions cluster;
+  cluster.num_nodes = nodes;
+  cluster.per_node_budget = 1 << 20;
+  cluster.network_bytes_per_second = 16.0 * 1024 * 1024;
+  return cluster;
+}
+
+class ClusterNodes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ClusterNodes, MatchesOracle) {
+  unsigned nodes = GetParam();
+  auto w = MakeWorkload(20000, 61);
+  ClusterBuilder builder(BaseOptions(&w->env, "/cluster"),
+                         MakeCluster(nodes));
+  auto result = builder.Build(w->info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(testing::IndexMatchesOracle(&w->env, result->index, w->text));
+  EXPECT_EQ(result->node_seconds.size(), nodes);
+  EXPECT_EQ(result->node_io.size(), nodes);
+
+  // Phase accounting: transfer is |S| / bandwidth; all-in time adds the
+  // serial phases (Table 3's last column).
+  double expected_transfer =
+      static_cast<double>(w->info.length) / (16.0 * 1024 * 1024);
+  EXPECT_NEAR(result->transfer_seconds, expected_transfer, 1e-9);
+  EXPECT_GE(result->AllSeconds(), result->ConstructionSeconds());
+  EXPECT_NEAR(result->AllSeconds(),
+              result->makespan_seconds + result->transfer_seconds +
+                  result->vertical_seconds,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, ClusterNodes,
+                         ::testing::Values(1u, 2u, 5u, 16u),
+                         [](const auto& info) {
+                           return "nodes_" + std::to_string(info.param);
+                         });
+
+TEST(ClusterBuilderTest, OutputIdenticalAcrossNodeCounts) {
+  auto w = MakeWorkload(15000, 62);
+  std::vector<uint64_t> reference;
+  for (unsigned nodes : {1u, 4u, 9u}) {
+    ClusterBuilder builder(
+        BaseOptions(&w->env, "/c" + std::to_string(nodes)),
+        MakeCluster(nodes));
+    auto result = builder.Build(w->info);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto order = testing::GlobalLeafOrder(&w->env, result->index);
+    ASSERT_TRUE(order.ok());
+    if (reference.empty()) {
+      reference = *order;
+    } else {
+      EXPECT_EQ(*order, reference) << nodes << " nodes diverged";
+    }
+  }
+}
+
+TEST(ClusterBuilderTest, LoadBalancingSpreadsWork) {
+  // With many groups and LPT assignment, per-node I/O should be within a
+  // reasonable factor across nodes (near-optimal speed-up in Table 3).
+  auto w = MakeWorkload(40000, 63);
+  ClusterOptions cluster = MakeCluster(4);
+  cluster.per_node_budget = 512 << 10;  // more, smaller groups
+  ClusterBuilder builder(BaseOptions(&w->env, "/bal"), cluster);
+  auto result = builder.Build(w->info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  uint64_t min_bytes = ~0ull;
+  uint64_t max_bytes = 0;
+  for (const IoStats& io : result->node_io) {
+    min_bytes = std::min(min_bytes, io.bytes_read);
+    max_bytes = std::max(max_bytes, io.bytes_read);
+  }
+  ASSERT_GT(min_bytes, 0u);
+  EXPECT_LE(max_bytes, 3 * min_bytes)
+      << "grossly unbalanced node I/O: " << min_bytes << " vs " << max_bytes;
+}
+
+TEST(ClusterBuilderTest, WaveFrontClusterMatchesOracle) {
+  auto w = MakeWorkload(10000, 64);
+  ClusterOptions cluster = MakeCluster(3);
+  cluster.algorithm = ParallelAlgorithm::kWaveFront;
+  ClusterBuilder builder(BaseOptions(&w->env, "/cwf"), cluster);
+  auto result = builder.Build(w->info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(testing::IndexMatchesOracle(&w->env, result->index, w->text));
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleBlocksUntilCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+}  // namespace
+}  // namespace era

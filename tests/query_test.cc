@@ -1,0 +1,240 @@
+// Query engine and applications against naive string-scan oracles.
+
+#include "query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "era/era_builder.h"
+#include "io/mem_env.h"
+#include "query/applications.h"
+#include "tests/test_util.h"
+
+namespace era {
+namespace {
+
+/// All occurrence positions of `pattern` in `text` by naive scan (the
+/// terminal byte is part of the text and may match).
+std::vector<uint64_t> NaiveLocate(const std::string& text,
+                                  const std::string& pattern) {
+  std::vector<uint64_t> hits;
+  std::size_t pos = text.find(pattern);
+  while (pos != std::string::npos) {
+    hits.push_back(pos);
+    pos = text.find(pattern, pos + 1);
+  }
+  return hits;
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    text_ = testing::RepetitiveText(Alphabet::Dna(), 8000, 71);
+    auto info = MaterializeText(&env_, "/text", Alphabet::Dna(), text_);
+    ASSERT_TRUE(info.ok());
+
+    BuildOptions options;
+    options.env = &env_;
+    options.work_dir = "/idx";
+    options.memory_budget = 512 << 10;  // force several sub-trees
+    options.input_buffer_bytes = 4096;
+    EraBuilder builder(options);
+    auto result = builder.Build(*info);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    auto engine = QueryEngine::Open(&env_, "/idx");
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::move(*engine);
+  }
+
+  void CheckPattern(const std::string& pattern) {
+    auto expected = NaiveLocate(text_, pattern);
+    auto located = engine_->Locate(pattern);
+    ASSERT_TRUE(located.ok()) << located.status().ToString();
+    EXPECT_EQ(*located, expected) << "pattern: " << pattern;
+    auto count = engine_->Count(pattern);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, expected.size()) << "pattern: " << pattern;
+    auto contains = engine_->Contains(pattern);
+    ASSERT_TRUE(contains.ok());
+    EXPECT_EQ(*contains, !expected.empty());
+  }
+
+  MemEnv env_;
+  std::string text_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(QueryEngineTest, ShortPatternsWithinTrie) {
+  for (const char* p : {"A", "C", "G", "T", "AC", "GT", "TT"}) {
+    CheckPattern(p);
+  }
+}
+
+TEST_F(QueryEngineTest, MediumPatternsFromText) {
+  for (std::size_t offset : {0u, 100u, 500u, 4000u, 7900u}) {
+    CheckPattern(text_.substr(offset, 12));
+  }
+}
+
+TEST_F(QueryEngineTest, LongPatternsIncludingFullSuffixes) {
+  CheckPattern(text_.substr(7000));             // suffix incl. terminal
+  CheckPattern(text_.substr(0, 200));           // long prefix
+  CheckPattern(text_.substr(2500, 64));
+}
+
+TEST_F(QueryEngineTest, AbsentPatterns) {
+  CheckPattern("ACGTACGTACGTACGTACGTACGTACGTACGT");
+  // A pattern that diverges from the text in its last symbol.
+  std::string almost = text_.substr(1000, 20);
+  almost.back() = almost.back() == 'A' ? 'C' : 'A';
+  CheckPattern(almost);
+}
+
+TEST_F(QueryEngineTest, EmptyPatternRejected) {
+  EXPECT_FALSE(engine_->Locate("").ok());
+  EXPECT_FALSE(engine_->Count("").ok());
+}
+
+TEST_F(QueryEngineTest, LimitTruncatesResults) {
+  auto hits = engine_->Locate("A", 5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_LE(hits->size(), 5u);
+}
+
+TEST_F(QueryEngineTest, CountUsesTrieWithoutSubTreeIo) {
+  uint64_t reads_before = engine_->io().bytes_read;
+  auto count = engine_->Count("A");  // resolvable from trie frequencies
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(engine_->io().bytes_read, reads_before);
+}
+
+TEST(QueryEngineLifecycleTest, OpenFailsOnMissingIndex) {
+  MemEnv env;
+  EXPECT_FALSE(QueryEngine::Open(&env, "/nope").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Applications.
+// ---------------------------------------------------------------------------
+
+class ApplicationsTest : public ::testing::Test {
+ protected:
+  /// Builds an ERA index over `text` in `dir`, returning it.
+  TreeIndex BuildIndex(const std::string& text, const std::string& dir,
+                       const Alphabet& alphabet) {
+    auto info = MaterializeText(&env_, dir + "_text", alphabet, text);
+    EXPECT_TRUE(info.ok());
+    BuildOptions options;
+    options.env = &env_;
+    options.work_dir = dir;
+    options.memory_budget = 512 << 10;
+    options.input_buffer_bytes = 4096;
+    EraBuilder builder(options);
+    auto result = builder.Build(*info);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result->index);
+  }
+
+  MemEnv env_;
+};
+
+TEST_F(ApplicationsTest, LongestRepeatedSubstringMatchesLcpOracle) {
+  std::string text = testing::RepetitiveText(Alphabet::Dna(), 5000, 81);
+  TreeIndex index = BuildIndex(text, "/lrs", Alphabet::Dna());
+
+  auto lrs = LongestRepeatedSubstring(&env_, index, text);
+  ASSERT_TRUE(lrs.ok()) << lrs.status().ToString();
+
+  // Oracle: the maximum LCP between adjacent suffixes.
+  SaLcp oracle = testing::OracleSaLcp(text);
+  uint64_t max_lcp =
+      *std::max_element(oracle.lcp.begin(), oracle.lcp.end());
+  EXPECT_EQ(lrs->length, max_lcp);
+  // The witness substring must indeed occur at least twice.
+  std::string witness = text.substr(lrs->offset, lrs->length);
+  EXPECT_NE(text.find(witness, text.find(witness) + 1), std::string::npos);
+}
+
+TEST_F(ApplicationsTest, LongestRepeatedSubstringOnRandomText) {
+  std::string text = testing::RandomText(Alphabet::Protein(), 4000, 82);
+  TreeIndex index = BuildIndex(text, "/lrs2", Alphabet::Protein());
+  auto lrs = LongestRepeatedSubstring(&env_, index, text);
+  ASSERT_TRUE(lrs.ok());
+  SaLcp oracle = testing::OracleSaLcp(text);
+  EXPECT_EQ(lrs->length,
+            *std::max_element(oracle.lcp.begin(), oracle.lcp.end()));
+}
+
+TEST_F(ApplicationsTest, MostFrequentKmerMatchesNaiveCount) {
+  std::string text = testing::RepetitiveText(Alphabet::Dna(), 3000, 83);
+  TreeIndex index = BuildIndex(text, "/kmer", Alphabet::Dna());
+
+  for (uint64_t k : {3u, 8u, 16u}) {
+    auto motif = MostFrequentKmer(&env_, index, text, k);
+    ASSERT_TRUE(motif.ok()) << motif.status().ToString();
+
+    // Naive: count all k-windows inside the body.
+    std::map<std::string, uint64_t> counts;
+    for (std::size_t i = 0; i + k < text.size(); ++i) {
+      counts[text.substr(i, k)]++;
+    }
+    uint64_t best = 0;
+    for (const auto& [w, c] : counts) best = std::max(best, c);
+    EXPECT_EQ(motif->count, best) << "k=" << k;
+    EXPECT_EQ(counts[text.substr(motif->offset, k)], best) << "k=" << k;
+  }
+}
+
+TEST_F(ApplicationsTest, ConcatenateDocumentsLayout) {
+  auto combined = ConcatenateDocuments({"abc", "de", "f"}, '#');
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->text, std::string("abc#de#f") + kTerminal);
+  EXPECT_EQ(combined->doc_starts, (std::vector<uint64_t>{0, 4, 7}));
+  EXPECT_FALSE(ConcatenateDocuments({}, '#').ok());
+}
+
+TEST_F(ApplicationsTest, LongestCommonSubstringMatchesNaiveDp) {
+  // Two English-like documents with a planted common phrase.
+  std::string a = testing::RandomText(Alphabet::English(), 600, 84);
+  a.pop_back();  // strip terminal
+  std::string b = testing::RandomText(Alphabet::English(), 500, 85);
+  b.pop_back();
+  const std::string planted = "thequickbrownfoxjumps";
+  a.insert(200, planted);
+  b.insert(350, planted);
+
+  auto combined = ConcatenateDocuments({a, b}, '#');
+  ASSERT_TRUE(combined.ok());
+  auto alphabet = Alphabet::Create("#abcdefghijklmnopqrstuvwxyz");
+  ASSERT_TRUE(alphabet.ok());
+  TreeIndex index = BuildIndex(combined->text, "/lcs", *alphabet);
+
+  auto lcs = LongestCommonSubstring(&env_, index, combined->text,
+                                    combined->doc_starts, 0, 1, '#');
+  ASSERT_TRUE(lcs.ok()) << lcs.status().ToString();
+
+  // Naive DP oracle for the LCS length.
+  std::vector<std::vector<uint32_t>> dp(a.size() + 1,
+                                        std::vector<uint32_t>(b.size() + 1));
+  uint32_t naive = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        dp[i][j] = dp[i - 1][j - 1] + 1;
+        naive = std::max(naive, dp[i][j]);
+      }
+    }
+  }
+  EXPECT_GE(naive, planted.size());
+  EXPECT_EQ(lcs->length, naive);
+
+  // The witness must occur in both documents.
+  std::string witness = combined->text.substr(lcs->offset, lcs->length);
+  EXPECT_NE(a.find(witness), std::string::npos);
+  EXPECT_NE(b.find(witness), std::string::npos);
+}
+
+}  // namespace
+}  // namespace era

@@ -1,0 +1,102 @@
+#include "sa/sais.h"
+
+#include <gtest/gtest.h>
+
+#include "sa/lcp.h"
+#include "tests/test_util.h"
+
+namespace era {
+namespace {
+
+TEST(SaisTest, KnownSmallExample) {
+  // banana with our terminal: suffixes of "banana~".
+  std::string text = "banana~";
+  auto sa = BuildSuffixArray(text);
+  // Sorted suffixes: anana~(1), ana~(3), a~(5), banana~(0), nana~(2),
+  // na~(4), ~(6)  — terminal sorts last.
+  std::vector<uint64_t> expected = {1, 3, 5, 0, 2, 4, 6};
+  EXPECT_EQ(sa, expected);
+}
+
+TEST(SaisTest, SingleCharacter) {
+  auto sa = BuildSuffixArray("~");
+  EXPECT_EQ(sa, (std::vector<uint64_t>{0}));
+}
+
+TEST(SaisTest, AllSameSymbol) {
+  std::string text = "aaaaaa~";
+  auto sa = BuildSuffixArray(text);
+  // Shorter run of a's sorts first? "a~" vs "aa~": compare position 1:
+  // '~' > 'a', so "aa~" < "a~": longest suffix of a's sorts first.
+  std::vector<uint64_t> expected = {0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(sa, expected);
+}
+
+struct SaCase {
+  std::string name;
+  Alphabet alphabet;
+  std::size_t length;
+  uint64_t seed;
+  bool repetitive;
+};
+
+class SaisMatchesNaive : public ::testing::TestWithParam<SaCase> {};
+
+TEST_P(SaisMatchesNaive, Agree) {
+  const auto& param = GetParam();
+  std::string text =
+      param.repetitive
+          ? testing::RepetitiveText(param.alphabet, param.length, param.seed)
+          : testing::RandomText(param.alphabet, param.length, param.seed);
+  EXPECT_EQ(BuildSuffixArray(text), BuildSuffixArrayNaive(text));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SaisMatchesNaive,
+    ::testing::Values(
+        SaCase{"dna_tiny", Alphabet::Dna(), 16, 1, false},
+        SaCase{"dna_small", Alphabet::Dna(), 500, 2, false},
+        SaCase{"dna_medium", Alphabet::Dna(), 5000, 3, false},
+        SaCase{"dna_repetitive", Alphabet::Dna(), 2000, 4, true},
+        SaCase{"protein", Alphabet::Protein(), 3000, 5, false},
+        SaCase{"protein_repetitive", Alphabet::Protein(), 1500, 6, true},
+        SaCase{"english", Alphabet::English(), 3000, 7, false},
+        SaCase{"english_repetitive", Alphabet::English(), 1500, 8, true},
+        SaCase{"binary_alphabet", *Alphabet::Create("ab"), 4000, 9, false},
+        SaCase{"binary_repetitive", *Alphabet::Create("ab"), 4000, 10, true},
+        SaCase{"unary", *Alphabet::Create("a"), 300, 11, false}),
+    [](const auto& info) { return info.param.name; });
+
+class LcpMatchesDirect : public ::testing::TestWithParam<SaCase> {};
+
+TEST_P(LcpMatchesDirect, Agree) {
+  const auto& param = GetParam();
+  std::string text =
+      param.repetitive
+          ? testing::RepetitiveText(param.alphabet, param.length, param.seed)
+          : testing::RandomText(param.alphabet, param.length, param.seed);
+  auto sa = BuildSuffixArray(text);
+  auto lcp = BuildLcpArray(text, sa);
+  ASSERT_EQ(lcp.size(), sa.size());
+  EXPECT_EQ(lcp[0], 0u);
+  for (std::size_t i = 1; i < sa.size(); ++i) {
+    EXPECT_EQ(lcp[i], LcpOfSuffixes(text, sa[i - 1], sa[i])) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LcpMatchesDirect,
+    ::testing::Values(
+        SaCase{"dna", Alphabet::Dna(), 2000, 21, false},
+        SaCase{"dna_repetitive", Alphabet::Dna(), 2000, 22, true},
+        SaCase{"protein", Alphabet::Protein(), 2000, 23, false},
+        SaCase{"english", Alphabet::English(), 2000, 24, false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(SaisTest, LargeDnaAgainstNaive) {
+  std::string text = testing::RandomText(Alphabet::Dna(), 50000, 99);
+  EXPECT_EQ(BuildSuffixArray(text), BuildSuffixArrayNaive(text));
+}
+
+}  // namespace
+}  // namespace era

@@ -1,0 +1,170 @@
+#include "io/string_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/mem_env.h"
+
+namespace era {
+namespace {
+
+class StringReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_.resize(1 << 20);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] = static_cast<char>('A' + (i % 26));
+    }
+    ASSERT_TRUE(env_.WriteFile("/s", data_).ok());
+  }
+
+  std::unique_ptr<StringReader> Open(const StringReaderOptions& options) {
+    auto reader = OpenStringReader(&env_, "/s", options, &stats_);
+    EXPECT_TRUE(reader.ok());
+    return std::move(*reader);
+  }
+
+  MemEnv env_;
+  IoStats stats_;
+  std::string data_;
+};
+
+TEST_F(StringReaderTest, SequentialFetchMatchesContent) {
+  StringReaderOptions options;
+  options.buffer_bytes = 8192;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[64];
+  uint32_t got = 0;
+  for (uint64_t pos = 0; pos < 100000; pos += 1000) {
+    ASSERT_TRUE(reader->Fetch(pos, 64, buf, &got).ok());
+    ASSERT_EQ(got, 64u);
+    EXPECT_EQ(std::string(buf, 64), data_.substr(pos, 64));
+  }
+}
+
+TEST_F(StringReaderTest, BackwardsFetchWithinScanFails) {
+  auto reader = Open({});
+  reader->BeginScan();
+  char buf[8];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->Fetch(5000, 8, buf, &got).ok());
+  EXPECT_FALSE(reader->Fetch(4000, 8, buf, &got).ok());
+}
+
+TEST_F(StringReaderTest, NewScanAllowsRewind) {
+  auto reader = Open({});
+  reader->BeginScan();
+  char buf[8];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->Fetch(5000, 8, buf, &got).ok());
+  reader->BeginScan();
+  ASSERT_TRUE(reader->Fetch(0, 8, buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), data_.substr(0, 8));
+  EXPECT_EQ(stats_.scans_started, 2u);
+}
+
+TEST_F(StringReaderTest, FetchClampsAtEof) {
+  auto reader = Open({});
+  reader->BeginScan(data_.size() - 10);
+  char buf[64];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->Fetch(data_.size() - 10, 64, buf, &got).ok());
+  EXPECT_EQ(got, 10u);
+  ASSERT_TRUE(reader->Fetch(data_.size() + 5, 64, buf, &got).ok());
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_F(StringReaderTest, ReadThroughBillsSequentialBytes) {
+  StringReaderOptions options;
+  options.buffer_bytes = 4096;
+  options.seek_optimization = false;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[4];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->Fetch(0, 4, buf, &got).ok());
+  uint64_t before = stats_.bytes_read;
+  // Jump far ahead: without seek optimization, the gap is read through.
+  ASSERT_TRUE(reader->Fetch(500000, 4, buf, &got).ok());
+  EXPECT_GE(stats_.bytes_read - before, 490000u);
+  EXPECT_EQ(stats_.bytes_skipped, 0u);
+}
+
+TEST_F(StringReaderTest, SeekOptimizationSkipsGap) {
+  StringReaderOptions options;
+  options.buffer_bytes = 4096;
+  options.seek_optimization = true;
+  options.skip_threshold_bytes = 64 << 10;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[4];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->Fetch(0, 4, buf, &got).ok());
+  uint64_t read_before = stats_.bytes_read;
+  uint64_t seeks_before = stats_.seeks;
+  ASSERT_TRUE(reader->Fetch(500000, 4, buf, &got).ok());
+  EXPECT_EQ(std::string(buf, 4), data_.substr(500000, 4));
+  // Only one buffer worth of data fetched; the gap was skipped with a seek.
+  EXPECT_LE(stats_.bytes_read - read_before, options.buffer_bytes);
+  EXPECT_EQ(stats_.seeks, seeks_before + 1);
+  EXPECT_GT(stats_.bytes_skipped, 400000u);
+}
+
+TEST_F(StringReaderTest, SmallGapIsReadThroughEvenWithSeekOpt) {
+  StringReaderOptions options;
+  options.buffer_bytes = 4096;
+  options.seek_optimization = true;
+  options.skip_threshold_bytes = 64 << 10;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[4];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->Fetch(0, 4, buf, &got).ok());
+  uint64_t seeks_before = stats_.seeks;
+  ASSERT_TRUE(reader->Fetch(10000, 4, buf, &got).ok());  // < threshold
+  EXPECT_EQ(stats_.seeks, seeks_before);
+  EXPECT_EQ(std::string(buf, 4), data_.substr(10000, 4));
+}
+
+TEST_F(StringReaderTest, RandomFetchCountsSeeks) {
+  StringReaderOptions options;
+  options.buffer_bytes = 4096;
+  auto reader = Open(options);
+  char buf[16];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->RandomFetch(900000, 16, buf, &got).ok());
+  EXPECT_EQ(std::string(buf, got), data_.substr(900000, 16));
+  uint64_t seeks_after_first = stats_.seeks;
+  EXPECT_GE(seeks_after_first, 1u);
+  // A second fetch inside the same window is free.
+  ASSERT_TRUE(reader->RandomFetch(900100, 16, buf, &got).ok());
+  EXPECT_EQ(stats_.seeks, seeks_after_first);
+  // Jumping back is another seek.
+  ASSERT_TRUE(reader->RandomFetch(100, 16, buf, &got).ok());
+  EXPECT_EQ(stats_.seeks, seeks_after_first + 1);
+}
+
+TEST_F(StringReaderTest, FetchSpanningBufferBoundary) {
+  StringReaderOptions options;
+  options.buffer_bytes = 4096;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[256];
+  uint32_t got = 0;
+  ASSERT_TRUE(reader->Fetch(4000, 256, buf, &got).ok());
+  EXPECT_EQ(got, 256u);
+  EXPECT_EQ(std::string(buf, 256), data_.substr(4000, 256));
+}
+
+TEST(DiskModelTest, PricesTransferAndSeeks) {
+  IoStats stats;
+  stats.bytes_read = 100 * 1024 * 1024;  // 1 second at 100 MB/s
+  stats.seeks = 125;                     // 1 second at 8 ms each
+  DiskModel model;
+  EXPECT_NEAR(model.ModeledSeconds(stats), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace era

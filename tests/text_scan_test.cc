@@ -1,0 +1,184 @@
+// Aho-Corasick matcher, CRC32, and options plumbing.
+
+#include "text/aho_corasick.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/crc32.h"
+#include "common/options.h"
+#include "io/mem_env.h"
+#include "tests/test_util.h"
+
+namespace era {
+namespace {
+
+/// Brute-force pattern match oracle.
+std::vector<std::pair<int32_t, uint64_t>> NaiveMatches(
+    const std::string& text, const std::vector<std::string>& patterns) {
+  std::vector<std::pair<int32_t, uint64_t>> out;
+  for (std::size_t id = 0; id < patterns.size(); ++id) {
+    std::size_t pos = text.find(patterns[id]);
+    while (pos != std::string::npos) {
+      out.emplace_back(static_cast<int32_t>(id), pos);
+      pos = text.find(patterns[id], pos + 1);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  return out;
+}
+
+std::vector<std::pair<int32_t, uint64_t>> AcMatches(
+    const std::string& text, const std::vector<std::string>& patterns) {
+  auto ac = AhoCorasick::Build(patterns);
+  EXPECT_TRUE(ac.ok());
+  std::vector<std::pair<int32_t, uint64_t>> out;
+  ac->Reset();
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    ac->Step(text[i], i,
+             [&](int32_t id, uint64_t pos) { out.emplace_back(id, pos); });
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  return out;
+}
+
+TEST(AhoCorasickTest, SimplePatterns) {
+  std::string text = "ABCABCDABX";
+  std::vector<std::string> patterns = {"ABC", "BCD", "X"};
+  EXPECT_EQ(AcMatches(text, patterns), NaiveMatches(text, patterns));
+}
+
+TEST(AhoCorasickTest, OverlappingAndNestedPatterns) {
+  std::string text = "AAAAAA";
+  std::vector<std::string> patterns = {"A", "AA", "AAA"};
+  EXPECT_EQ(AcMatches(text, patterns), NaiveMatches(text, patterns));
+}
+
+TEST(AhoCorasickTest, PatternIsSuffixOfAnother) {
+  std::string text = "GTGCGTGG";
+  std::vector<std::string> patterns = {"GTG", "TG", "G"};
+  EXPECT_EQ(AcMatches(text, patterns), NaiveMatches(text, patterns));
+}
+
+TEST(AhoCorasickTest, DuplicatePatternsBothFire) {
+  std::string text = "XYXY";
+  std::vector<std::string> patterns = {"XY", "XY"};
+  auto matches = AcMatches(text, patterns);
+  EXPECT_EQ(matches.size(), 4u);  // 2 occurrences x 2 pattern ids
+}
+
+TEST(AhoCorasickTest, EmptyPatternRejected) {
+  EXPECT_FALSE(AhoCorasick::Build({"A", ""}).ok());
+}
+
+TEST(AhoCorasickTest, RandomTextsMatchOracle) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    std::string text = testing::RandomText(Alphabet::Dna(), 5000, seed);
+    std::vector<std::string> patterns = {"A",    "ACG", "TTT",
+                                         "GTGC", "CATG", "GGGGG"};
+    EXPECT_EQ(AcMatches(text, patterns), NaiveMatches(text, patterns))
+        << "seed " << seed;
+  }
+}
+
+TEST(AhoCorasickTest, ScanAllStreamsWholeFile) {
+  MemEnv env;
+  std::string text = testing::RandomText(Alphabet::Dna(), 200000, 9);
+  ASSERT_TRUE(env.WriteFile("/s", text).ok());
+  std::vector<std::string> patterns = {"ACGT", "TTAA"};
+  auto ac = AhoCorasick::Build(patterns);
+  ASSERT_TRUE(ac.ok());
+  IoStats stats;
+  auto reader = OpenStringReader(&env, "/s", {}, &stats);
+  ASSERT_TRUE(reader.ok());
+  std::vector<std::pair<int32_t, uint64_t>> matches;
+  ASSERT_TRUE(ac->ScanAll(reader->get(), [&](int32_t id, uint64_t pos) {
+                  matches.emplace_back(id, pos);
+                }).ok());
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  EXPECT_EQ(matches, NaiveMatches(text, patterns));
+  EXPECT_GE(stats.bytes_read, text.size());
+  EXPECT_EQ(stats.scans_started, 1u);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyAndChaining) {
+  EXPECT_EQ(Crc32("", 0), 0u);
+  // Chained CRC over two halves differs from concatenated only if seeded
+  // correctly; verify chaining equals one-shot.
+  std::string data = "the quick brown fox";
+  uint32_t one_shot = Crc32(data.data(), data.size());
+  uint32_t chained = Crc32(data.data() + 5, data.size() - 5,
+                           Crc32(data.data(), 5));
+  EXPECT_EQ(one_shot, chained);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = testing::RandomText(Alphabet::Dna(), 1000, 3);
+  uint32_t crc = Crc32(data.data(), data.size());
+  data[500] = static_cast<char>(data[500] ^ 1);
+  EXPECT_NE(Crc32(data.data(), data.size()), crc);
+}
+
+TEST(OptionsTest, ValidationCatchesBadConfigs) {
+  BuildOptions options;
+  options.work_dir = "/w";
+  EXPECT_TRUE(ValidateBuildOptions(options).ok());
+
+  BuildOptions no_dir = options;
+  no_dir.work_dir = "";
+  EXPECT_FALSE(ValidateBuildOptions(no_dir).ok());
+
+  BuildOptions tiny = options;
+  tiny.memory_budget = 1024;
+  EXPECT_FALSE(ValidateBuildOptions(tiny).ok());
+
+  BuildOptions bad_range = options;
+  bad_range.min_range = 100;
+  bad_range.max_range = 10;
+  EXPECT_FALSE(ValidateBuildOptions(bad_range).ok());
+
+  BuildOptions bad_fixed = options;
+  bad_fixed.range_policy = RangePolicyKind::kFixed;
+  bad_fixed.fixed_range = 0;
+  EXPECT_FALSE(ValidateBuildOptions(bad_fixed).ok());
+
+  BuildOptions small_input = options;
+  small_input.input_buffer_bytes = 100;
+  EXPECT_FALSE(ValidateBuildOptions(small_input).ok());
+}
+
+TEST(OptionsTest, RBufferAutoSizing) {
+  BuildOptions options;
+  options.work_dir = "/w";
+  options.memory_budget = 64 << 20;
+  // DNA-sized alphabets get a smaller R than protein-sized ones when the
+  // auto rule hits the clamps.
+  options.memory_budget = 1 << 20;
+  uint64_t dna = ResolveRBufferBytes(options, 4);
+  uint64_t protein = ResolveRBufferBytes(options, 20);
+  EXPECT_LE(dna, protein);
+  // Explicit value wins.
+  options.r_buffer_bytes = 12345;
+  EXPECT_EQ(ResolveRBufferBytes(options, 4), 12345u);
+}
+
+}  // namespace
+}  // namespace era

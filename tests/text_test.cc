@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "io/mem_env.h"
+#include "text/corpus.h"
+#include "text/fasta.h"
+#include "text/text_generator.h"
+
+namespace era {
+namespace {
+
+TEST(TextGeneratorTest, DeterministicInSeed) {
+  std::string a = GenerateDna(10000, 42);
+  std::string b = GenerateDna(10000, 42);
+  std::string c = GenerateDna(10000, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(TextGeneratorTest, RespectsLengthAndTerminal) {
+  for (uint64_t len : {0ull, 1ull, 100ull, 12345ull}) {
+    std::string text = GenerateDna(len, 7);
+    EXPECT_EQ(text.size(), len + 1);
+    EXPECT_EQ(text.back(), kTerminal);
+  }
+}
+
+TEST(TextGeneratorTest, OutputsValidateAgainstAlphabet) {
+  EXPECT_TRUE(Alphabet::Dna().ValidateText(GenerateDna(20000, 1)).ok());
+  EXPECT_TRUE(
+      Alphabet::Protein().ValidateText(GenerateProtein(20000, 2)).ok());
+  EXPECT_TRUE(
+      Alphabet::English().ValidateText(GenerateEnglish(20000, 3)).ok());
+}
+
+TEST(TextGeneratorTest, UsesWholeAlphabet) {
+  std::string text = GenerateProtein(50000, 11);
+  const Alphabet protein = Alphabet::Protein();
+  std::vector<int> seen(static_cast<std::size_t>(protein.size()), 0);
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    seen[static_cast<std::size_t>(protein.Code(text[i]))] = 1;
+  }
+  for (int i = 0; i < protein.size(); ++i) {
+    EXPECT_TRUE(seen[static_cast<std::size_t>(i)])
+        << "symbol " << protein.Symbol(i) << " never generated";
+  }
+}
+
+TEST(TextGeneratorTest, RepeatInjectionCreatesLongRepeats) {
+  GeneratorOptions with_repeats;
+  with_repeats.repeat_rate = 0.05;
+  with_repeats.mean_repeat_length = 500;
+  GeneratorOptions without;
+  without.repeat_rate = 0.0;
+
+  auto longest_repeat = [](const std::string& text) {
+    // O(n^2)-ish sampling probe: check a few long substrings for recurrence.
+    std::size_t best = 0;
+    for (std::size_t start = 0; start + 64 < text.size(); start += 997) {
+      for (std::size_t len = 64; start + len < text.size(); len *= 2) {
+        if (text.find(text.substr(start, len), start + 1) !=
+            std::string::npos) {
+          best = std::max(best, len);
+        } else {
+          break;
+        }
+      }
+    }
+    return best;
+  };
+
+  std::string repetitive =
+      GenerateText(Alphabet::Dna(), 100000, 5, with_repeats);
+  std::string plain = GenerateText(Alphabet::Dna(), 100000, 5, without);
+  EXPECT_GT(longest_repeat(repetitive), longest_repeat(plain));
+}
+
+TEST(FastaTest, RoundTrip) {
+  MemEnv env;
+  std::string text = GenerateDna(5000, 3);
+  ASSERT_TRUE(WriteFasta(&env, "/x.fa", "synthetic chr1", text).ok());
+  auto back = ReadFasta(&env, "/x.fa", Alphabet::Dna(),
+                        FastaCleanPolicy::kStrict);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, text);
+}
+
+TEST(FastaTest, MultiRecordConcatenationAndCleaning) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/m.fa",
+                            ">rec1 description\n"
+                            "ACGTN\nNNACG\n"
+                            ">rec2\n"
+                            "ttga\n")
+                  .ok());
+  auto skip =
+      ReadFasta(&env, "/m.fa", Alphabet::Dna(), FastaCleanPolicy::kSkip);
+  ASSERT_TRUE(skip.ok());
+  EXPECT_EQ(*skip, std::string("ACGTACGTTGA") + kTerminal);
+
+  auto strict =
+      ReadFasta(&env, "/m.fa", Alphabet::Dna(), FastaCleanPolicy::kStrict);
+  EXPECT_FALSE(strict.ok());
+}
+
+TEST(FastaTest, MissingRecordsFail) {
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/bad.fa", "ACGT\n").ok());
+  EXPECT_FALSE(
+      ReadFasta(&env, "/bad.fa", Alphabet::Dna(), FastaCleanPolicy::kSkip)
+          .ok());
+}
+
+TEST(CorpusTest, MaterializeWritesTerminalAndCaches) {
+  MemEnv env;
+  auto info = MaterializeCorpus(&env, "/corpus/dna", CorpusKind::kDna, 4096, 1);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->length, 4097u);
+
+  std::string content;
+  ASSERT_TRUE(env.ReadFileToString("/corpus/dna", &content).ok());
+  EXPECT_EQ(content.size(), 4097u);
+  EXPECT_EQ(content.back(), kTerminal);
+
+  // Second call reuses the file (same size, no rewrite needed).
+  auto again =
+      MaterializeCorpus(&env, "/corpus/dna", CorpusKind::kDna, 4096, 1);
+  ASSERT_TRUE(again.ok());
+  std::string content2;
+  ASSERT_TRUE(env.ReadFileToString("/corpus/dna", &content2).ok());
+  EXPECT_EQ(content, content2);
+}
+
+TEST(CorpusTest, KindsMapToAlphabets) {
+  EXPECT_EQ(AlphabetFor(CorpusKind::kDna).size(), 4);
+  EXPECT_EQ(AlphabetFor(CorpusKind::kProtein).size(), 20);
+  EXPECT_EQ(AlphabetFor(CorpusKind::kEnglish).size(), 26);
+  EXPECT_STREQ(CorpusName(CorpusKind::kDna), "DNA");
+}
+
+TEST(CorpusTest, MaterializeTextValidates) {
+  MemEnv env;
+  EXPECT_FALSE(
+      MaterializeText(&env, "/t", Alphabet::Dna(), "ACGT").ok());  // no term
+  auto ok = MaterializeText(&env, "/t", Alphabet::Dna(), "ACGT~");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->length, 5u);
+}
+
+}  // namespace
+}  // namespace era

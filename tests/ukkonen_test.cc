@@ -1,0 +1,110 @@
+#include "ukkonen/ukkonen.h"
+
+#include <gtest/gtest.h>
+
+#include "suffixtree/canonical.h"
+#include "suffixtree/validator.h"
+#include "tests/test_util.h"
+
+namespace era {
+namespace {
+
+TEST(UkkonenTest, RejectsBadInput) {
+  EXPECT_FALSE(BuildUkkonenTree("ACGT").ok());      // no terminal
+  EXPECT_FALSE(BuildUkkonenTree("AC~GT~").ok());    // terminal in body
+  EXPECT_FALSE(BuildUkkonenTree("").ok());
+}
+
+TEST(UkkonenTest, TerminalOnly) {
+  auto tree = BuildUkkonenTree("~");
+  ASSERT_TRUE(tree.ok());
+  SaLcp canon = TreeToSaLcp(*tree);
+  EXPECT_EQ(canon.sa, (std::vector<uint64_t>{0}));
+  EXPECT_TRUE(canon.lcp.empty());
+}
+
+TEST(UkkonenTest, BananaExample) {
+  // Figure 1 of the paper, adapted to our terminal byte.
+  std::string text = "banana~";
+  auto tree = BuildUkkonenTree(text);
+  ASSERT_TRUE(tree.ok());
+  SaLcp canon = TreeToSaLcp(*tree);
+  EXPECT_EQ(canon.sa, (std::vector<uint64_t>{1, 3, 5, 0, 2, 4, 6}));
+  // LCPs: anana~/ana~ = 3, ana~/a~ = 1, a~/banana~ = 0, banana~/nana~ = 0,
+  // nana~/na~ = 2, na~/~ = 0.
+  EXPECT_EQ(canon.lcp, (std::vector<uint64_t>{3, 1, 0, 0, 2, 0}));
+}
+
+TEST(UkkonenTest, PaperExampleString) {
+  // The running example of Figure 2.
+  std::string text = "TGGTGGTGGTGCGGTGATGGTGC~";
+  auto tree = BuildUkkonenTree(text);
+  ASSERT_TRUE(tree.ok());
+  SaLcp canon = TreeToSaLcp(*tree);
+  EXPECT_EQ(canon, testing::OracleSaLcp(text));
+  // Leaf count: one per suffix.
+  EXPECT_EQ(CountLeaves(*tree), text.size());
+  // Table 1 of the paper: the suffixes with S-prefix TG, in lexicographic
+  // order, sit at offsets 14, 9, 20, 6, 17, 3, 0 (Trace 3's final L).
+  std::vector<uint64_t> tg_leaves;
+  for (uint64_t pos : canon.sa) {
+    if (text.compare(pos, 2, "TG") == 0) tg_leaves.push_back(pos);
+  }
+  EXPECT_EQ(tg_leaves, (std::vector<uint64_t>{14, 9, 20, 6, 17, 3, 0}));
+}
+
+TEST(UkkonenTest, ValidatorAcceptsFullTree) {
+  std::string text = testing::RandomText(Alphabet::Dna(), 500, 77);
+  auto tree = BuildUkkonenTree(text);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(ValidateSubTree(*tree, text, "").ok());
+}
+
+struct UkkCase {
+  std::string name;
+  Alphabet alphabet;
+  std::size_t length;
+  uint64_t seed;
+  bool repetitive;
+};
+
+class UkkonenMatchesOracle : public ::testing::TestWithParam<UkkCase> {};
+
+TEST_P(UkkonenMatchesOracle, CanonicalFormAgrees) {
+  const auto& param = GetParam();
+  std::string text =
+      param.repetitive
+          ? testing::RepetitiveText(param.alphabet, param.length, param.seed)
+          : testing::RandomText(param.alphabet, param.length, param.seed);
+  auto tree = BuildUkkonenTree(text);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(TreeToSaLcp(*tree), testing::OracleSaLcp(text));
+  EXPECT_EQ(CountLeaves(*tree), text.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, UkkonenMatchesOracle,
+    ::testing::Values(
+        UkkCase{"dna_tiny", Alphabet::Dna(), 10, 1, false},
+        UkkCase{"dna_small", Alphabet::Dna(), 200, 2, false},
+        UkkCase{"dna_medium", Alphabet::Dna(), 5000, 3, false},
+        UkkCase{"dna_repetitive", Alphabet::Dna(), 3000, 4, true},
+        UkkCase{"protein", Alphabet::Protein(), 3000, 5, false},
+        UkkCase{"english", Alphabet::English(), 3000, 6, false},
+        UkkCase{"binary", *Alphabet::Create("ab"), 3000, 7, false},
+        UkkCase{"binary_repetitive", *Alphabet::Create("ab"), 3000, 8, true},
+        UkkCase{"unary", *Alphabet::Create("a"), 200, 9, false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(UkkonenTest, InternalNodeCountBounded) {
+  // #internal nodes <= #leaves (paper, Section 4.1: equal in their model).
+  std::string text = testing::RandomText(Alphabet::Dna(), 2000, 13);
+  auto tree = BuildUkkonenTree(text);
+  ASSERT_TRUE(tree.ok());
+  uint64_t leaves = CountLeaves(*tree);
+  uint64_t internal = tree->size() - leaves;
+  EXPECT_LE(internal, leaves);
+}
+
+}  // namespace
+}  // namespace era
