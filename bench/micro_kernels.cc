@@ -10,6 +10,7 @@
 #include "suffixtree/canonical.h"
 #include "era/range_policy.h"
 #include "era/subtree_prepare.h"
+#include "era/subtree_prepare_baseline.h"
 #include "io/mem_env.h"
 #include "io/string_reader.h"
 #include "sa/lcp.h"
@@ -68,22 +69,39 @@ void BM_AhoCorasickScan(benchmark::State& state) {
 }
 BENCHMARK(BM_AhoCorasickScan);
 
-void BM_SubTreePrepare(benchmark::State& state) {
-  std::string text = DnaText(1 << 20);
+// SubTreePrepare old-vs-new: BM_SubTreePrepare runs the allocation-free
+// radix/arena/batched-fetch kernel, BM_SubTreePrepareBaseline the checked-in
+// pre-refactor path (era/subtree_prepare_baseline.h). 512 KiB DNA, elastic
+// range — the acceptance configuration for the rewrite's speedup.
+template <typename Preparer>
+void RunSubTreePrepare(benchmark::State& state) {
+  std::string text = DnaText(512 << 10);
   MemEnv env;
   (void)env.WriteFile("/s", text);
   VirtualTree group;
-  group.prefixes = {{"AC", 0}, {"GT", 0}, {"TG", 0}};
+  group.prefixes = {{"AC", 0}, {"CA", 0}, {"GG", 0},
+                    {"GT", 0}, {"TG", 0}, {"TT", 0}};
   IoStats stats;
   for (auto _ : state) {
     auto reader = OpenStringReader(&env, "/s", {}, &stats);
-    GroupPreparer preparer(group, RangePolicy::Elastic(1 << 20, 4, 4096),
-                           reader->get(), text.size());
+    Preparer preparer(group, RangePolicy::Elastic(1 << 20, 4, 4096),
+                      reader->get(), text.size());
     (void)preparer.Run();
     benchmark::DoNotOptimize(preparer.results().data());
   }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+
+void BM_SubTreePrepare(benchmark::State& state) {
+  RunSubTreePrepare<GroupPreparer>(state);
 }
 BENCHMARK(BM_SubTreePrepare);
+
+void BM_SubTreePrepareBaseline(benchmark::State& state) {
+  RunSubTreePrepare<BaselineGroupPreparer>(state);
+}
+BENCHMARK(BM_SubTreePrepareBaseline);
 
 void BM_BuildSubTree(benchmark::State& state) {
   std::string text = DnaText(1 << 20);

@@ -1,0 +1,94 @@
+// Flat loser-tree k-way merger.
+//
+// Replaces std::priority_queue in the merge loops of the builders: a loser
+// tree replaces the winner with its next key in exactly ceil(log2 k)
+// comparisons along one root path (no sift-down branching, no push/pop
+// pair), and its nodes live in one flat array that is recycled across
+// rounds. Ways are compared by (key, way index), so equal keys pop in way
+// order and the merge is deterministic.
+//
+// Usage:
+//   LoserTree tree;
+//   tree.Reset(k);                    // reuses internal capacity
+//   for (way : 0..k-1) tree.SetKey(way, first_key_of(way));  // or kExhausted
+//   tree.Build();
+//   while (!tree.Empty()) {
+//     uint32_t way = tree.MinWay();
+//     consume(way, tree.MinKey());
+//     tree.Replace(next_key_of(way));  // kExhausted when the way runs dry
+//   }
+
+#ifndef ERA_COMMON_LOSER_TREE_H_
+#define ERA_COMMON_LOSER_TREE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace era {
+
+class LoserTree {
+ public:
+  /// Sentinel key for an exhausted way; the merge ends when every way
+  /// carries it.
+  static constexpr uint64_t kExhausted = std::numeric_limits<uint64_t>::max();
+
+  /// Prepares the tree for `k` ways (k >= 1). Reuses allocated capacity;
+  /// all keys start exhausted.
+  void Reset(uint32_t k) {
+    leaves_ = 2;
+    while (leaves_ < k) leaves_ <<= 1;
+    keys_.assign(leaves_, kExhausted);
+    loser_.assign(leaves_, 0);
+    winner_ = 0;
+  }
+
+  void SetKey(uint32_t way, uint64_t key) { keys_[way] = key; }
+
+  /// Builds the tournament after the initial SetKey calls.
+  void Build() { winner_ = InitNode(1); }
+
+  bool Empty() const { return keys_[winner_] == kExhausted; }
+  uint32_t MinWay() const { return winner_; }
+  uint64_t MinKey() const { return keys_[winner_]; }
+
+  /// Replaces the current winner's key and re-plays its root path.
+  void Replace(uint64_t key) {
+    uint32_t way = winner_;
+    keys_[way] = key;
+    for (uint32_t node = (way + leaves_) >> 1; node >= 1; node >>= 1) {
+      if (Less(loser_[node], way)) {
+        uint32_t tmp = loser_[node];
+        loser_[node] = way;
+        way = tmp;
+      }
+    }
+    winner_ = way;
+  }
+
+ private:
+  bool Less(uint32_t a, uint32_t b) const {
+    return keys_[a] < keys_[b] || (keys_[a] == keys_[b] && a < b);
+  }
+
+  uint32_t InitNode(uint32_t node) {
+    if (node >= leaves_) return node - leaves_;
+    uint32_t left = InitNode(2 * node);
+    uint32_t right = InitNode(2 * node + 1);
+    if (Less(left, right)) {
+      loser_[node] = right;
+      return left;
+    }
+    loser_[node] = left;
+    return right;
+  }
+
+  uint32_t leaves_ = 0;  // power of two >= k
+  uint32_t winner_ = 0;
+  std::vector<uint64_t> keys_;    // keys_[way]
+  std::vector<uint32_t> loser_;   // loser_[internal node]
+};
+
+}  // namespace era
+
+#endif  // ERA_COMMON_LOSER_TREE_H_

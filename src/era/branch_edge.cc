@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <queue>
 
 #include "text/aho_corasick.h"
 
@@ -60,6 +59,7 @@ Status GroupStrBuilder::Run() {
   // Level-synchronous BranchEdge rounds with one merged scan per round.
   std::vector<char> windows;
   std::vector<uint32_t> window_len;
+  std::vector<FetchRequest> requests;
   while (true) {
     uint64_t total_active = 0;
     for (const State& state : states_) {
@@ -69,33 +69,34 @@ Status GroupStrBuilder::Run() {
     ++stats_.rounds;
     const uint32_t range = policy_.NextRange(total_active);
 
-    // Merged fetch: requests are (position + depth) over all open edges.
-    struct Request {
-      uint64_t pos;
-      uint64_t index;  // into the flat window arrays
-    };
-    std::vector<Request> requests;
+    // Merged fetch: requests are (position + depth) over all open edges,
+    // sorted into one monotone stream and served by a single batched pass
+    // over the input buffer.
+    windows.assign(total_active * range, 0);
+    window_len.assign(total_active, 0);
+    requests.clear();
     requests.reserve(total_active);
     uint64_t flat = 0;
     for (State& state : states_) {
       for (OpenEdge& e : state.open) {
         for (uint64_t q : e.positions) {
-          requests.push_back({q + e.depth, flat++});
+          requests.push_back(
+              {q + e.depth, range, windows.data() + flat * range, 0});
+          ++flat;
         }
       }
     }
     std::sort(requests.begin(), requests.end(),
-              [](const Request& a, const Request& b) { return a.pos < b.pos; });
-    windows.assign(total_active * range, 0);
-    window_len.assign(total_active, 0);
+              [](const FetchRequest& a, const FetchRequest& b) {
+                return a.pos < b.pos;
+              });
     reader_->BeginScan();
-    for (const Request& request : requests) {
-      uint32_t got = 0;
-      ERA_RETURN_NOT_OK(
-          reader_->Fetch(request.pos, range,
-                         windows.data() + request.index * range, &got));
-      window_len[request.index] = got;
-      stats_.symbols_fetched += got;
+    ERA_RETURN_NOT_OK(reader_->FetchBatch(requests));
+    for (const FetchRequest& request : requests) {
+      uint64_t index =
+          static_cast<uint64_t>(request.out - windows.data()) / range;
+      window_len[index] = request.got;
+      stats_.symbols_fetched += request.got;
     }
 
     // Process each open edge: extend, branch, or settle leaves.

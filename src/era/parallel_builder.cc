@@ -14,6 +14,16 @@ namespace era {
 StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
   WallTimer total_timer;
   ERA_RETURN_NOT_OK(ValidateBuildOptions(options_));
+  if (num_workers_ == 0) {
+    return Status::InvalidArgument("parallel build needs at least one worker");
+  }
+  if (options_.memory_budget < num_workers_) {
+    // Dividing the budget below would silently plan a zero-byte layout.
+    return Status::InvalidArgument(
+        "memory budget (" + std::to_string(options_.memory_budget) +
+        " bytes) is smaller than the worker count (" +
+        std::to_string(num_workers_) + "); the per-core share would be zero");
+  }
   Env* env = options_.GetEnv();
   ERA_RETURN_NOT_OK(env->CreateDir(options_.work_dir));
 

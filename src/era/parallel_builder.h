@@ -34,11 +34,12 @@ struct ParallelBuildResult {
 class ParallelBuilder {
  public:
   /// `options.memory_budget` is the TOTAL budget; it is divided equally
-  /// among `num_workers` (the paper's Figure 12 setup).
+  /// among `num_workers` (the paper's Figure 12 setup). `num_workers == 0`
+  /// is rejected by Build() with InvalidArgument.
   ParallelBuilder(const BuildOptions& options, unsigned num_workers,
                   ParallelAlgorithm algorithm = ParallelAlgorithm::kEra)
       : options_(options),
-        num_workers_(num_workers == 0 ? 1 : num_workers),
+        num_workers_(num_workers),
         algorithm_(algorithm) {}
 
   StatusOr<ParallelBuildResult> Build(const TextInfo& text);

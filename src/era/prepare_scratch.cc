@@ -1,0 +1,25 @@
+#include "era/prepare_scratch.h"
+
+namespace era {
+
+void PrepareScratch::BeginRound(uint64_t total_active, uint32_t range,
+                                uint64_t max_area) {
+  Size(&windows, total_active * range);
+  Size(&window_len, total_active);
+  Size(&requests, total_active);
+  Size(&request_compact, total_active);
+  Size(&sort_records, max_area);
+  Size(&perm_l, max_area);
+  Size(&perm_p, max_area);
+  Size(&perm_compact, max_area);
+  // Every area holds >= 2 slots, so one state can close at most
+  // total_active / 2 + 1 new areas; reserving that bound keeps the run
+  // scanner's push_backs allocation-free.
+  if (area_tmp.capacity() < total_active / 2 + 1) {
+    ++allocations_;
+    area_tmp.reserve(total_active / 2 + 1);
+  }
+  area_tmp.clear();
+}
+
+}  // namespace era

@@ -1,0 +1,81 @@
+// Reusable working memory for the SubTreePrepare hot path.
+//
+// GroupPreparer::RunRound used to allocate ~8 fresh std::vectors per active
+// area per round (window storage, sort records, permutation temporaries).
+// PrepareScratch hoists all of that into one arena owned by the preparer:
+// BeginRound() sizes every buffer for the round's total active leaf count and
+// widest area, reusing capacity from previous rounds. In steady state no
+// round performs any heap allocation: the elastic range keeps
+// active_count * range bounded by the R budget while both factors drift, so
+// the high-water marks are established within the first couple of rounds.
+//
+// The `allocations()` counter ticks once per buffer growth event; tests pin
+// the hot path's allocation-freedom by asserting it stops moving after the
+// first round.
+
+#ifndef ERA_ERA_PREPARE_SCRATCH_H_
+#define ERA_ERA_PREPARE_SCRATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "io/string_reader.h"
+
+namespace era {
+
+/// One sort-key record: the next (up to) 8 window symbols, big-endian, and
+/// the slot they belong to. Radix passes consume the key bytes most
+/// significant first; ties reload the key from deeper in the window.
+struct WindowSortRec {
+  uint64_t key = 0;
+  uint32_t slot = 0;
+};
+
+class PrepareScratch {
+ public:
+  /// Sizes every buffer for one round. `total_active` is the group-wide
+  /// active leaf count, `range` the symbols fetched per leaf, `max_area` the
+  /// widest single active area.
+  void BeginRound(uint64_t total_active, uint32_t range, uint64_t max_area);
+
+  /// Number of buffer-growth events since construction.
+  uint64_t allocations() const { return allocations_; }
+
+  // Shared window arena: one slab for every state of the group. A state's
+  // window for compact index c lives at (window_base + c) * range.
+  std::vector<char> windows;
+  std::vector<uint32_t> window_len;
+
+  // The merged fetch stream and, parallel to it, the global compact index
+  // each request fills (FetchRequest carries no user tag).
+  std::vector<FetchRequest> requests;
+  std::vector<uint64_t> request_compact;
+
+  // Radix sort records for one area.
+  std::vector<WindowSortRec> sort_records;
+
+  // Permutation temporaries for one area. Windows are never moved: the
+  // permutation is applied to L, P and the slot->compact map, so a round
+  // costs zero window byte copies.
+  std::vector<uint64_t> perm_l;
+  std::vector<uint64_t> perm_p;
+  std::vector<uint32_t> perm_compact;
+
+  // Next round's active areas for the state being processed.
+  std::vector<std::pair<uint32_t, uint32_t>> area_tmp;
+
+ private:
+  /// resize() that counts capacity growth (the allocation events the hot
+  /// path must not produce in steady state).
+  template <typename V>
+  void Size(V* vec, std::size_t n) {
+    if (vec->capacity() < n) ++allocations_;
+    vec->resize(n);
+  }
+
+  uint64_t allocations_ = 0;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_PREPARE_SCRATCH_H_

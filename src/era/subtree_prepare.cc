@@ -1,14 +1,186 @@
 #include "era/subtree_prepare.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstring>
 #include <numeric>
-#include <queue>
 
 #include "text/aho_corasick.h"
 
 namespace era {
+
+namespace {
+
+/// Reinterprets a native-endian u64 loaded from memory as the big-endian
+/// value of those bytes (the sort keys compare in text byte order).
+inline uint64_t NativeToBigEndian64(uint64_t v) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return __builtin_bswap64(v);
+  } else {
+    return v;
+  }
+}
+
+/// Index of the first (lowest-address) differing byte between two words
+/// loaded from memory, given their nonzero XOR.
+inline uint32_t FirstDiffByte(uint64_t native_xor) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<uint32_t>(__builtin_ctzll(native_xor) >> 3);
+  } else {
+    return static_cast<uint32_t>(__builtin_clzll(native_xor) >> 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-place MSD radix sort of one active area.
+//
+// Records carry an 8-symbol big-endian key (a zero-padded load of window
+// bytes [depth, depth+8)). The radix passes consume the key one byte at a
+// time with an American-flag permutation; buckets below the cutoff finish
+// with an insertion sort on (key, slot). Runs whose full 8-byte keys tie are
+// reloaded from the next 8 window symbols and recursed — deep-LCP areas cost
+// one 8-byte integer compare per 8 shared symbols instead of a memcmp per
+// comparison pair.
+// ---------------------------------------------------------------------------
+
+/// Resolves slots to their windows inside the shared arena.
+struct AreaSortContext {
+  const char* windows;
+  const uint32_t* window_len;
+  const uint32_t* slot_to_compact;
+  uint64_t window_base;
+  uint32_t range;
+
+  const char* WindowOf(uint32_t slot, uint32_t* len) const {
+    uint64_t compact = window_base + slot_to_compact[slot];
+    *len = window_len[compact];
+    return windows + compact * range;
+  }
+
+  /// Big-endian load of window bytes [depth, depth+8), zero-padded past the
+  /// window's end (one unaligned load + byte swap on little-endian hosts).
+  uint64_t KeyAt(uint32_t slot, uint32_t depth) const {
+    uint32_t len = 0;
+    const char* w = WindowOf(slot, &len);
+    if (depth >= len) return 0;
+    uint64_t v = 0;
+    std::memcpy(&v, w + depth, std::min<uint32_t>(8, len - depth));
+    return NativeToBigEndian64(v);
+  }
+};
+
+/// Length of the common prefix of w1[0,l1) and w2[0,l2), compared in 8-byte
+/// chunks (the B-scan runs this once per adjacent slot pair per round).
+uint32_t CommonPrefixLen(const char* w1, uint32_t l1, const char* w2,
+                         uint32_t l2) {
+  const uint32_t m = std::min(l1, l2);
+  uint32_t cs = 0;
+  while (cs + 8 <= m) {
+    uint64_t a, b;
+    std::memcpy(&a, w1 + cs, 8);
+    std::memcpy(&b, w2 + cs, 8);
+    if (a != b) {
+      return cs + FirstDiffByte(a ^ b);
+    }
+    cs += 8;
+  }
+  while (cs < m && w1[cs] == w2[cs]) ++cs;
+  return cs;
+}
+
+void InsertionSortByKeySlot(WindowSortRec* a, uint32_t n) {
+  for (uint32_t i = 1; i < n; ++i) {
+    WindowSortRec r = a[i];
+    uint32_t j = i;
+    while (j > 0 && (a[j - 1].key > r.key ||
+                     (a[j - 1].key == r.key && a[j - 1].slot > r.slot))) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = r;
+  }
+}
+
+constexpr uint32_t kRadixCutoff = 48;
+
+/// Sorts [a, a+n) by (key, slot): American-flag MSD radix over the key's
+/// bytes, insertion sort below the cutoff.
+void RadixSortKeys(WindowSortRec* a, uint32_t n, uint32_t key_byte) {
+  if (n < kRadixCutoff || key_byte > 7) {
+    InsertionSortByKeySlot(a, n);
+    return;
+  }
+  const uint32_t shift = 56 - 8 * key_byte;
+  uint32_t count[256] = {0};
+  for (uint32_t i = 0; i < n; ++i) {
+    ++count[(a[i].key >> shift) & 0xFF];
+  }
+  uint32_t begin[257];
+  begin[0] = 0;
+  for (uint32_t b = 0; b < 256; ++b) begin[b + 1] = begin[b] + count[b];
+  uint32_t fill[256];
+  std::memcpy(fill, begin, sizeof(fill));
+  for (uint32_t b = 0; b < 256; ++b) {
+    while (fill[b] < begin[b + 1]) {
+      uint32_t d = (a[fill[b]].key >> shift) & 0xFF;
+      if (d == b) {
+        ++fill[b];
+      } else {
+        std::swap(a[fill[b]], a[fill[d]]);
+        ++fill[d];
+      }
+    }
+  }
+  for (uint32_t b = 0; b < 256; ++b) {
+    if (count[b] > 1) RadixSortKeys(a + begin[b], count[b], key_byte + 1);
+  }
+}
+
+/// Sorts an area whose keys hold window bytes [depth, depth+8). Full-key
+/// ties re-extract from the window tail and recurse (the memcmp-free deep
+/// path); ties that exhaust a window fall back to a comparison sort with
+/// the (content, length, slot) order of the reference implementation.
+void SortArea(WindowSortRec* a, uint32_t n, uint32_t depth,
+              const AreaSortContext& ctx) {
+  RadixSortKeys(a, n, 0);
+  uint32_t i = 0;
+  while (i < n) {
+    uint32_t j = i + 1;
+    while (j < n && a[j].key == a[i].key) ++j;
+    if (j - i >= 2) {
+      const uint32_t next = depth + 8;
+      bool all_deeper = true;
+      for (uint32_t k = i; k < j && all_deeper; ++k) {
+        uint32_t len = 0;
+        ctx.WindowOf(a[k].slot, &len);
+        all_deeper = len > next;
+      }
+      if (all_deeper) {
+        for (uint32_t k = i; k < j; ++k) {
+          a[k].key = ctx.KeyAt(a[k].slot, next);
+        }
+        SortArea(a + i, j - i, next, ctx);
+      } else {
+        // A window ended inside the key (only possible at end-of-file);
+        // runs like this are tiny and about to be invariant-checked.
+        std::sort(a + i, a + j,
+                  [&ctx](const WindowSortRec& x, const WindowSortRec& y) {
+                    uint32_t lx = 0, ly = 0;
+                    const char* wx = ctx.WindowOf(x.slot, &lx);
+                    const char* wy = ctx.WindowOf(y.slot, &ly);
+                    int c = std::memcmp(wx, wy, std::min(lx, ly));
+                    if (c != 0) return c < 0;
+                    if (lx != ly) return lx < ly;
+                    return x.slot < y.slot;
+                  });
+      }
+    }
+    i = j;
+  }
+}
+
+}  // namespace
 
 GroupPreparer::GroupPreparer(const VirtualTree& group,
                              const RangePolicy& policy, StringReader* reader,
@@ -50,6 +222,11 @@ Status GroupPreparer::ScanOccurrences() {
     state.B.assign(m, BranchInfo{});
     if (!state.B.empty()) state.B[0].defined = true;  // sentinel
     state.start = state.prefix.size();
+    // Sized once here, rewritten in place every round: the hot path must
+    // not allocate in steady state.
+    state.slot_to_compact.resize(m);
+    state.was_active.resize(m);
+    state.areas.reserve(m / 2 + 1);  // every area holds >= 2 slots
     if (m >= 2) {
       state.areas.emplace_back(0, static_cast<uint32_t>(m));
       state.active_count = m;
@@ -58,139 +235,165 @@ Status GroupPreparer::ScanOccurrences() {
       if (m == 1) state.I[0] = kDoneSlot;
     }
   }
+  cursor_rank_.resize(states_.size());
   return Status::OK();
 }
 
 Status GroupPreparer::RunRound(uint32_t range) {
-  // ---- Fill R: one merged sequential scan over all states (lines 10-12).
-  // Each state's unresolved leaves are visited in appearance order via I, so
-  // per-state request positions are increasing; a k-way merge keeps the
-  // global request stream monotone.
+  // ---- Lay the round out in the arena: per-state compact maps and window
+  // slabs (paper lines 10-12's bookkeeping, without the per-round vectors).
+  uint64_t total_active = 0;
+  uint64_t max_area = 0;
   for (State& state : states_) {
-    state.slot_to_compact.assign(state.L.size(), 0);
-    state.was_active.assign(state.L.size(), 0);
+    std::fill(state.was_active.begin(), state.was_active.end(), 0);
+    state.window_base = total_active;
     uint64_t compact = 0;
     for (const auto& [begin, end] : state.areas) {
+      max_area = std::max<uint64_t>(max_area, end - begin);
       for (uint32_t s = begin; s < end; ++s) {
         state.slot_to_compact[s] = static_cast<uint32_t>(compact++);
         state.was_active[s] = 1;
       }
     }
     state.active_count = compact;
-    state.windows.assign(compact * range, 0);
-    state.window_len.assign(compact, 0);
+    total_active += compact;
   }
+  scratch_.BeginRound(total_active, range, max_area);
 
-  struct Cursor {
-    State* state;
-    std::size_t rank;
-    uint64_t pos;
-  };
-  auto advance = [&](State* state, std::size_t from) -> std::size_t {
+  // ---- Fill R with one merged sequential pass. Each state's unresolved
+  // leaves are visited in appearance order via I, so per-state positions are
+  // increasing; the loser tree merges the k sorted streams into one
+  // monotone request stream, and FetchBatch serves it in a single pass over
+  // the input buffer.
+  auto advance = [](State* state, std::size_t from) -> std::size_t {
     std::size_t rank = from;
     while (rank < state->I.size() && state->I[rank] == kDoneSlot) ++rank;
     return rank;
   };
-  auto cmp = [](const Cursor& a, const Cursor& b) { return a.pos > b.pos; };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
-  for (State& state : states_) {
+  merge_.Reset(static_cast<uint32_t>(states_.size()));
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& state = states_[i];
     std::size_t rank = advance(&state, 0);
+    cursor_rank_[i] = rank;
     if (rank < state.I.size()) {
       uint64_t slot = static_cast<uint64_t>(state.I[rank]);
-      heap.push({&state, rank, state.L[slot] + state.start});
+      merge_.SetKey(static_cast<uint32_t>(i), state.L[slot] + state.start);
     }
   }
+  merge_.Build();
+  uint64_t num_requests = 0;
+  while (!merge_.Empty()) {
+    const uint32_t way = merge_.MinWay();
+    const uint64_t pos = merge_.MinKey();
+    State& state = states_[way];
+    std::size_t rank = cursor_rank_[way];
+    uint64_t slot = static_cast<uint64_t>(state.I[rank]);
+    uint64_t compact = state.window_base + state.slot_to_compact[slot];
+    scratch_.requests[num_requests] = {
+        pos, range, scratch_.windows.data() + compact * range, 0};
+    scratch_.request_compact[num_requests] = compact;
+    scratch_.window_len[compact] = range;  // optimistic; EOF tail patched below
+    ++num_requests;
+    rank = advance(&state, rank + 1);
+    cursor_rank_[way] = rank;
+    merge_.Replace(rank < state.I.size()
+                       ? state.L[static_cast<uint64_t>(state.I[rank])] +
+                             state.start
+                       : LoserTree::kExhausted);
+  }
+  assert(num_requests == total_active);
   reader_->BeginScan();
-  while (!heap.empty()) {
-    Cursor cur = heap.top();
-    heap.pop();
-    State& state = *cur.state;
-    uint64_t slot = static_cast<uint64_t>(state.I[cur.rank]);
-    uint32_t compact = state.slot_to_compact[slot];
-    uint32_t got = 0;
-    ERA_RETURN_NOT_OK(reader_->Fetch(cur.pos, range,
-                                     state.windows.data() +
-                                         static_cast<uint64_t>(compact) * range,
-                                     &got));
-    state.window_len[compact] = got;
-    stats_.symbols_fetched += got;
-    std::size_t next = advance(&state, cur.rank + 1);
-    if (next < state.I.size()) {
-      uint64_t next_slot = static_cast<uint64_t>(state.I[next]);
-      heap.push({&state, next, state.L[next_slot] + state.start});
-    }
+  ERA_RETURN_NOT_OK(reader_->FetchBatch(
+      std::span<FetchRequest>(scratch_.requests.data(), num_requests)));
+  // A fetch comes back short only at end-of-file, and the stream is sorted
+  // by position — so only a tail of the requests can need their optimistic
+  // window_len corrected.
+  stats_.symbols_fetched += num_requests * range;
+  const uint64_t file_size = reader_->size();
+  for (uint64_t r = num_requests; r-- > 0;) {
+    if (scratch_.requests[r].pos + range <= file_size) break;
+    scratch_.window_len[scratch_.request_compact[r]] = scratch_.requests[r].got;
+    stats_.symbols_fetched -= range - scratch_.requests[r].got;
   }
 
   // ---- Sort active areas, define B, retire resolved leaves (lines 13-23).
   for (State& state : states_) {
     if (state.areas.empty()) continue;
+    AreaSortContext ctx{scratch_.windows.data(), scratch_.window_len.data(),
+                        state.slot_to_compact.data(), state.window_base,
+                        range};
     auto window_of = [&](uint32_t slot) {
-      uint32_t compact = state.slot_to_compact[slot];
-      return std::pair<const char*, uint32_t>(
-          state.windows.data() + static_cast<uint64_t>(compact) * range,
-          state.window_len[compact]);
+      uint32_t len = 0;
+      const char* w = ctx.WindowOf(slot, &len);
+      return std::pair<const char*, uint32_t>(w, len);
     };
 
-    std::vector<std::pair<uint32_t, uint32_t>> new_areas;
+    scratch_.area_tmp.clear();
     for (const auto& [begin, end] : state.areas) {
-      // Sort slots [begin, end) by window content. An 8-byte big-endian key
-      // settles almost every comparison with one integer compare; ties fall
-      // back to the window tail. Equal windows keep their relative slot
-      // order (they stay in one active area), so the slot tie-break makes
-      // the plain sort stable.
-      struct SortRec {
-        uint64_t key;
-        uint32_t slot;
-      };
-      std::vector<SortRec> order(end - begin);
-      for (uint32_t s = begin; s < end; ++s) {
-        auto [w, len] = window_of(s);
-        uint64_t key = 0;
-        uint32_t take = std::min<uint32_t>(len, 8);
-        for (uint32_t i = 0; i < take; ++i) {
-          key |= static_cast<uint64_t>(static_cast<unsigned char>(w[i]))
-                 << (56 - 8 * i);
+      const uint32_t area_size = end - begin;
+      if (area_size == 2) {
+        // Most areas degenerate to pairs within a few rounds; one common-
+        // prefix scan both orders the pair and yields its B entry, skipping
+        // the sort/permute machinery entirely.
+        auto [w1, l1] = window_of(begin);
+        auto [w2, l2] = window_of(begin + 1);
+        uint32_t m = std::min(l1, l2);
+        uint32_t cs = CommonPrefixLen(w1, l1, w2, l2);
+        if (cs == m) {
+          if (l1 != l2) {
+            return Status::Internal(
+                "window is a proper prefix of its neighbor; the terminal "
+                "invariant is broken");
+          }
+          if (l1 < range) {
+            return Status::Internal(
+                "equal short windows: two suffixes share the terminal");
+          }
+          scratch_.area_tmp.emplace_back(begin, end);  // still undecidable
+          continue;
         }
-        order[s - begin] = {key, s};
+        char c1 = w1[cs];
+        char c2 = w2[cs];
+        if (static_cast<unsigned char>(c1) > static_cast<unsigned char>(c2)) {
+          std::swap(state.L[begin], state.L[begin + 1]);
+          std::swap(state.P[begin], state.P[begin + 1]);
+          std::swap(state.slot_to_compact[begin],
+                    state.slot_to_compact[begin + 1]);
+          std::swap(c1, c2);
+        }
+        state.B[begin + 1].offset = state.start + cs;
+        state.B[begin + 1].c1 = c1;
+        state.B[begin + 1].c2 = c2;
+        state.B[begin + 1].defined = true;
+        state.I[state.P[begin]] = kDoneSlot;      // both slots resolved
+        state.I[state.P[begin + 1]] = kDoneSlot;
+        continue;
       }
-      std::sort(order.begin(), order.end(),
-                [&](const SortRec& x, const SortRec& y) {
-                  if (x.key != y.key) return x.key < y.key;
-                  auto [wx, lx] = window_of(x.slot);
-                  auto [wy, ly] = window_of(y.slot);
-                  if (lx > 8 && ly > 8) {
-                    uint32_t m = std::min(lx, ly) - 8;
-                    int c = std::memcmp(wx + 8, wy + 8, m);
-                    if (c != 0) return c < 0;
-                  }
-                  if (lx != ly) return lx < ly;  // unreachable if valid
-                  return x.slot < y.slot;        // stability
-                });
 
-      // Apply the permutation to L, P and the compact windows; compact
-      // indices within the area stay contiguous, so permute via temporaries.
-      std::vector<uint64_t> new_l(order.size()), new_p(order.size());
-      std::vector<char> new_windows(order.size() *
-                                    static_cast<uint64_t>(range));
-      std::vector<uint32_t> new_len(order.size());
-      for (std::size_t k = 0; k < order.size(); ++k) {
-        uint32_t src = order[k].slot;
-        new_l[k] = state.L[src];
-        new_p[k] = state.P[src];
-        auto [w, len] = window_of(src);
-        std::memcpy(new_windows.data() + k * range, w, len);
-        new_len[k] = len;
+      // Sort slots [begin, end) by window content (radix on the 8-symbol
+      // keys; see SortArea). Equal windows keep their relative slot order
+      // (they stay in one active area), so the slot tie-break keeps the
+      // sort stable.
+      WindowSortRec* order = scratch_.sort_records.data();
+      for (uint32_t s = begin; s < end; ++s) {
+        order[s - begin] = {ctx.KeyAt(s, 0), s};
       }
-      uint32_t base_compact = state.slot_to_compact[begin];
-      for (std::size_t k = 0; k < order.size(); ++k) {
-        uint32_t slot = begin + static_cast<uint32_t>(k);
-        state.L[slot] = new_l[k];
-        state.P[slot] = new_p[k];
-        std::memcpy(state.windows.data() +
-                        (static_cast<uint64_t>(base_compact) + k) * range,
-                    new_windows.data() + k * range, new_len[k]);
-        state.window_len[base_compact + k] = new_len[k];
-        state.slot_to_compact[slot] = base_compact + static_cast<uint32_t>(k);
+      SortArea(order, area_size, 0, ctx);
+
+      // Apply the permutation to L, P and the slot->compact map. The window
+      // bytes never move: re-pointing the map costs O(area) words instead
+      // of two O(area * range) byte copies per round.
+      for (uint32_t k = 0; k < area_size; ++k) {
+        uint32_t src = order[k].slot;
+        scratch_.perm_l[k] = state.L[src];
+        scratch_.perm_p[k] = state.P[src];
+        scratch_.perm_compact[k] = state.slot_to_compact[src];
+      }
+      for (uint32_t k = 0; k < area_size; ++k) {
+        uint32_t slot = begin + k;
+        state.L[slot] = scratch_.perm_l[k];
+        state.P[slot] = scratch_.perm_p[k];
+        state.slot_to_compact[slot] = scratch_.perm_compact[k];
         state.I[state.P[slot]] = static_cast<int64_t>(slot);
       }
 
@@ -203,8 +406,7 @@ Status GroupPreparer::RunRound(uint32_t range) {
           auto [w1, l1] = window_of(i - 1);
           auto [w2, l2] = window_of(i);
           uint32_t m = std::min(l1, l2);
-          uint32_t cs = 0;
-          while (cs < m && w1[cs] == w2[cs]) ++cs;
+          uint32_t cs = CommonPrefixLen(w1, l1, w2, l2);
           if (cs == m) {
             if (l1 != l2) {
               return Status::Internal(
@@ -226,7 +428,7 @@ Status GroupPreparer::RunRound(uint32_t range) {
         if (!bond_open) {
           // Run [run_start, i) closed.
           if (i - run_start >= 2) {
-            new_areas.emplace_back(run_start, i);
+            scratch_.area_tmp.emplace_back(run_start, i);
           } else {
             // Singleton: both bonds of this slot are now defined (or are
             // boundaries) — the leaf is resolved (lines 20-23).
@@ -236,7 +438,7 @@ Status GroupPreparer::RunRound(uint32_t range) {
         }
       }
     }
-    state.areas = std::move(new_areas);
+    state.areas.assign(scratch_.area_tmp.begin(), scratch_.area_tmp.end());
     state.start += range;
   }
   return Status::OK();
@@ -265,10 +467,9 @@ void GroupPreparer::EmitSnapshot(uint32_t range) {
     // expose them post-permutation (what the paper's traces print).
     for (uint32_t slot = 0; slot < state.L.size(); ++slot) {
       if (!state.was_active[slot]) continue;
-      uint32_t compact = state.slot_to_compact[slot];
-      s.R[slot].assign(
-          state.windows.data() + static_cast<uint64_t>(compact) * range,
-          state.window_len[compact]);
+      uint64_t compact = state.window_base + state.slot_to_compact[slot];
+      s.R[slot].assign(scratch_.windows.data() + compact * range,
+                       scratch_.window_len[compact]);
     }
     s.B.resize(state.B.size());
     for (std::size_t i = 0; i < state.B.size(); ++i) {

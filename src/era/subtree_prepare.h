@@ -27,7 +27,9 @@
 #include <tuple>
 #include <vector>
 
+#include "common/loser_tree.h"
 #include "common/status.h"
+#include "era/prepare_scratch.h"
 #include "era/range_policy.h"
 #include "era/vertical_partitioner.h"
 #include "io/string_reader.h"
@@ -93,6 +95,10 @@ class GroupPreparer {
   std::vector<PreparedSubTree>& results() { return results_; }
   const PrepareStats& stats() const { return stats_; }
 
+  /// The hot-path arena (tests assert its allocation counter stops moving
+  /// after the first round).
+  const PrepareScratch& scratch() const { return scratch_; }
+
  private:
   static constexpr int64_t kDoneSlot = -1;
 
@@ -108,11 +114,13 @@ class GroupPreparer {
     std::vector<std::pair<uint32_t, uint32_t>> areas;
     uint64_t start = 0;  // symbols consumed so far (>= |prefix|)
 
-    // Round-local compact window storage.
+    // Round-local layout into the shared PrepareScratch arena. A slot's
+    // window lives at (window_base + slot_to_compact[slot]) * range. The
+    // per-slot maps are sized once in ScanOccurrences and rewritten in
+    // place each round.
     std::vector<uint32_t> slot_to_compact;
-    std::vector<char> was_active;    // slot took part in the current round
-    std::vector<char> windows;       // active_count * range bytes
-    std::vector<uint32_t> window_len;
+    std::vector<char> was_active;   // slot took part in the current round
+    uint64_t window_base = 0;       // first arena compact index of this state
     uint64_t active_count = 0;
   };
 
@@ -128,6 +136,12 @@ class GroupPreparer {
   std::vector<PreparedSubTree> results_;
   PrepareStats stats_;
   std::function<void(const PrepareSnapshot&)> observer_;
+
+  // Recycled hot-path working memory (see prepare_scratch.h): the arena,
+  // the k-way cursor merger, and the per-state appearance-rank cursors.
+  PrepareScratch scratch_;
+  LoserTree merge_;
+  std::vector<std::size_t> cursor_rank_;
 };
 
 }  // namespace era

@@ -1,0 +1,77 @@
+// The pre-refactor SubTreePrepare implementation, kept verbatim.
+//
+// BaselineGroupPreparer is the code path GroupPreparer had before the
+// allocation-free radix/arena rewrite: per-area std::vector allocations every
+// round, a comparison std::sort with a memcmp fallback, one StringReader
+// Fetch per unresolved leaf, and a std::priority_queue cursor merge. It is
+// checked in for two consumers:
+//   * bench/micro_kernels.cc pins the rewrite's speedup as
+//     BM_SubTreePrepare vs BM_SubTreePrepareBaseline, and
+//   * tests/prepare_kernel_test.cc uses it as the reference preparer the
+//     rewritten kernel must match byte-for-byte.
+// It shares every public struct (PreparedSubTree, PrepareStats, ...) with
+// era/subtree_prepare.h and must produce identical output.
+
+#ifndef ERA_ERA_SUBTREE_PREPARE_BASELINE_H_
+#define ERA_ERA_SUBTREE_PREPARE_BASELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "era/range_policy.h"
+#include "era/subtree_prepare.h"
+#include "era/vertical_partitioner.h"
+#include "io/string_reader.h"
+
+namespace era {
+
+/// Pre-refactor SubTreePrepare (see file comment). Interface mirrors
+/// GroupPreparer minus the observer hook.
+class BaselineGroupPreparer {
+ public:
+  BaselineGroupPreparer(const VirtualTree& group, const RangePolicy& policy,
+                        StringReader* reader, uint64_t text_length);
+
+  Status Run();
+
+  std::vector<PreparedSubTree>& results() { return results_; }
+  const PrepareStats& stats() const { return stats_; }
+
+ private:
+  static constexpr int64_t kDoneSlot = -1;
+
+  struct State {
+    std::string prefix;
+    uint64_t expected_frequency = 0;
+    std::vector<uint64_t> L;
+    std::vector<uint64_t> P;
+    std::vector<int64_t> I;
+    std::vector<BranchInfo> B;
+    std::vector<std::pair<uint32_t, uint32_t>> areas;
+    uint64_t start = 0;
+
+    std::vector<uint32_t> slot_to_compact;
+    std::vector<char> was_active;
+    std::vector<char> windows;
+    std::vector<uint32_t> window_len;
+    uint64_t active_count = 0;
+  };
+
+  Status ScanOccurrences();
+  Status RunRound(uint32_t range);
+
+  const VirtualTree& group_;
+  RangePolicy policy_;
+  StringReader* reader_;
+  uint64_t text_length_;
+  std::vector<State> states_;
+  std::vector<PreparedSubTree> results_;
+  PrepareStats stats_;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_SUBTREE_PREPARE_BASELINE_H_

@@ -8,7 +8,8 @@ std::string IoStats::ToString() const {
   std::ostringstream os;
   os << "read=" << bytes_read << "B written=" << bytes_written
      << "B seq_refills=" << sequential_refills << " seeks=" << seeks
-     << " skipped=" << bytes_skipped << "B scans=" << scans_started;
+     << " skipped=" << bytes_skipped << "B scans=" << scans_started
+     << " batches=" << fetch_batches << " batched_reqs=" << batched_requests;
   return os.str();
 }
 

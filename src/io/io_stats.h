@@ -30,6 +30,10 @@ struct IoStats {
   uint64_t bytes_skipped = 0;
   /// Number of full passes over the input string that were started.
   uint64_t scans_started = 0;
+  /// Number of FetchBatch/RandomFetchBatch calls issued.
+  uint64_t fetch_batches = 0;
+  /// Total individual requests served through batched fetches.
+  uint64_t batched_requests = 0;
 
   /// Accumulates `other` into this (for aggregating per-thread stats).
   void Add(const IoStats& other) {
@@ -39,6 +43,8 @@ struct IoStats {
     seeks += other.seeks;
     bytes_skipped += other.bytes_skipped;
     scans_started += other.scans_started;
+    fetch_batches += other.fetch_batches;
+    batched_requests += other.batched_requests;
   }
 
   std::string ToString() const;

@@ -5,6 +5,38 @@
 
 namespace era {
 
+namespace {
+
+/// memcpy for the batched fast path: writes exactly `len` bytes with two
+/// overlapped word stores instead of a size-dispatched memcpy call. The
+/// SubTreePrepare request stream is millions of 4..64-byte copies; the
+/// dispatch overhead is measurable there.
+inline void CopySmall(char* dst, const char* src, uint32_t len) {
+  if (len >= 8) {
+    if (len <= 16) {
+      uint64_t head, tail;
+      std::memcpy(&head, src, 8);
+      std::memcpy(&tail, src + len - 8, 8);
+      std::memcpy(dst, &head, 8);
+      std::memcpy(dst + len - 8, &tail, 8);
+      return;
+    }
+    std::memcpy(dst, src, len);
+    return;
+  }
+  if (len >= 4) {
+    uint32_t head, tail;
+    std::memcpy(&head, src, 4);
+    std::memcpy(&tail, src + len - 4, 4);
+    std::memcpy(dst, &head, 4);
+    std::memcpy(dst + len - 4, &tail, 4);
+    return;
+  }
+  for (uint32_t i = 0; i < len; ++i) dst[i] = src[i];
+}
+
+}  // namespace
+
 StringReader::StringReader(std::unique_ptr<RandomAccessFile> file,
                            const StringReaderOptions& options, IoStats* stats)
     : file_(std::move(file)), options_(options), stats_(stats) {
@@ -48,7 +80,11 @@ Status StringReader::Fetch(uint64_t pos, uint32_t len, char* out,
         "Fetch position moved backwards within a scan");
   }
   scan_pos_ = pos;
+  return FetchInto(pos, len, out, out_len);
+}
 
+Status StringReader::FetchInto(uint64_t pos, uint32_t len, char* out,
+                               uint32_t* out_len) {
   uint32_t written = 0;
   uint64_t cur = pos;
   while (written < len && cur < file_->Size()) {
@@ -91,6 +127,49 @@ Status StringReader::Fetch(uint64_t pos, uint32_t len, char* out,
   }
   *out_len = written;
   return Status::OK();
+}
+
+Status StringReader::ServeBatch(std::span<FetchRequest> requests,
+                                bool sequential) {
+  if (stats_ != nullptr) {
+    ++stats_->fetch_batches;
+    stats_->batched_requests += requests.size();
+  }
+  for (FetchRequest& request : requests) {
+    if (sequential) {
+      if (request.pos < scan_pos_) {
+        return Status::InvalidArgument(
+            "FetchBatch request stream is not sorted by position");
+      }
+      scan_pos_ = request.pos;
+    }
+    // Coalesced fast path: runs of adjacent and overlapping windows land in
+    // the resident buffer, where each request is one bounds check and one
+    // small copy.
+    if (has_window_ && request.pos >= buffer_start_ &&
+        request.pos + request.len <= buffer_start_ + buffer_len_) {
+      CopySmall(request.out, buffer_.data() + (request.pos - buffer_start_),
+                request.len);
+      request.got = request.len;
+      continue;
+    }
+    if (sequential) {
+      ERA_RETURN_NOT_OK(
+          FetchInto(request.pos, request.len, request.out, &request.got));
+    } else {
+      ERA_RETURN_NOT_OK(
+          RandomFetch(request.pos, request.len, request.out, &request.got));
+    }
+  }
+  return Status::OK();
+}
+
+Status StringReader::FetchBatch(std::span<FetchRequest> requests) {
+  return ServeBatch(requests, /*sequential=*/true);
+}
+
+Status StringReader::RandomFetchBatch(std::span<FetchRequest> requests) {
+  return ServeBatch(requests, /*sequential=*/false);
 }
 
 Status StringReader::RandomFetch(uint64_t pos, uint32_t len, char* out,

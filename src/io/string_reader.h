@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -47,6 +48,15 @@ struct StringReaderOptions {
   bool bill_random_as_sequential = false;
 };
 
+/// One read of a batched fetch. `out` must have room for `len` bytes; `got`
+/// receives the number of bytes actually available (short at end-of-file).
+struct FetchRequest {
+  uint64_t pos = 0;
+  uint32_t len = 0;
+  char* out = nullptr;
+  uint32_t got = 0;
+};
+
 /// Instrumented buffered reader over one file. Not thread-safe; each worker
 /// owns its own StringReader.
 class StringReader {
@@ -64,9 +74,20 @@ class StringReader {
   /// (short at end-of-file).
   Status Fetch(uint64_t pos, uint32_t len, char* out, uint32_t* out_len);
 
+  /// Serves a pre-merged stream of sequential reads in one call: request
+  /// positions must be non-decreasing (like Fetch within a scan). Runs of
+  /// requests that land in the resident window are each served with a single
+  /// memcpy, and the window advances once per gap instead of once per
+  /// request — the batch drives exactly one pass over the buffer.
+  Status FetchBatch(std::span<FetchRequest> requests);
+
   /// Reads up to `len` bytes at any `pos`; buffer misses reposition the
   /// window (counted as a seek).
   Status RandomFetch(uint64_t pos, uint32_t len, char* out, uint32_t* out_len);
+
+  /// Batched RandomFetch: positions may be arbitrary; requests that hit the
+  /// resident window are served with one memcpy and no repositioning.
+  Status RandomFetchBatch(std::span<FetchRequest> requests);
 
   /// File size in bytes.
   uint64_t size() const { return file_->Size(); }
@@ -77,6 +98,14 @@ class StringReader {
   /// `full_window` loads the whole scan buffer even on a seek (used by the
   /// disk-seek optimization, which continues a scan after the skip).
   Status Refill(uint64_t pos, bool sequential, bool full_window = true);
+
+  /// Core of Fetch: reads [pos, pos+len) into `out`, moving the window as
+  /// needed. Does not validate scan monotonicity (callers do).
+  Status FetchInto(uint64_t pos, uint32_t len, char* out, uint32_t* out_len);
+
+  /// Shared body of FetchBatch/RandomFetchBatch; `sequential` selects the
+  /// monotonicity check and the buffer-miss path.
+  Status ServeBatch(std::span<FetchRequest> requests, bool sequential);
 
   std::unique_ptr<RandomAccessFile> file_;
   StringReaderOptions options_;

@@ -80,7 +80,10 @@ StatusOr<TreeBuffer> WaveFrontBuildSubTree(const std::string& prefix,
     for (;;) {
       ERA_ASSIGN_OR_RETURN(char want, SymbolAt(suffix_reader, q + depth));
       // Find the child whose edge begins with `want`, tracking the
-      // insertion point to keep siblings sorted.
+      // insertion point to keep siblings sorted. Probing stays sequential
+      // with early exit — batching all sibling symbols would fetch tiles
+      // the real algorithm never touches and inflate the baseline's
+      // measured I/O.
       uint32_t prev = kNilNode;
       uint32_t child = tree.node(node).first_child;
       char have = 0;

@@ -93,6 +93,30 @@ TEST(ParallelBuilderTest, PerCoreBudgetShrinksFm) {
   EXPECT_LE(r1->stats.num_subtrees, r8->stats.num_subtrees);
 }
 
+TEST(ParallelBuilderTest, RejectsZeroWorkers) {
+  auto w = MakeWorkload(5000, 58);
+  ParallelBuilder builder(BaseOptions(&w->env, "/zero"), 0);
+  auto result = builder.Build(w->info);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+}
+
+TEST(ParallelBuilderTest, RejectsBudgetSmallerThanWorkerCount) {
+  // A budget below the worker count used to silently plan a zero-byte
+  // per-core layout; it must be rejected up front.
+  auto w = MakeWorkload(5000, 57);
+  BuildOptions options = BaseOptions(&w->env, "/tiny");
+  // Passes the generic >= 64 KB validation but still divides to zero bytes
+  // per worker; the guard rejects it before any thread is spawned.
+  options.memory_budget = 1 << 16;
+  ParallelBuilder builder(options, (1 << 16) + 1);
+  auto result = builder.Build(w->info);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+}
+
 TEST(ParallelBuilderTest, WaveFrontVariantMatchesOracle) {
   auto w = MakeWorkload(10000, 54);
   ParallelBuilder builder(BaseOptions(&w->env, "/pwf"), 4,

@@ -158,6 +158,77 @@ TEST_F(StringReaderTest, FetchSpanningBufferBoundary) {
   EXPECT_EQ(std::string(buf, 256), data_.substr(4000, 256));
 }
 
+TEST_F(StringReaderTest, FetchBatchMatchesContentAndCoalesces) {
+  StringReaderOptions options;
+  options.buffer_bytes = 64 << 10;
+  auto reader = Open(options);
+  reader->BeginScan();
+
+  // Adjacent and overlapping windows, the SubTreePrepare request shape.
+  char out[8][32];
+  std::vector<FetchRequest> requests;
+  uint64_t pos = 1000;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back({pos, 32, out[i], 0});
+    pos += (i % 2 == 0) ? 16 : 32;  // every other request overlaps
+  }
+  ASSERT_TRUE(reader->FetchBatch(requests).ok());
+  for (const FetchRequest& r : requests) {
+    ASSERT_EQ(r.got, 32u);
+    EXPECT_EQ(std::string(r.out, r.got), data_.substr(r.pos, 32));
+  }
+  // The whole batch fits in one window residency: one refill, no seeks.
+  EXPECT_EQ(stats_.sequential_refills, 1u);
+  EXPECT_EQ(stats_.seeks, 0u);
+  EXPECT_EQ(stats_.fetch_batches, 1u);
+  EXPECT_EQ(stats_.batched_requests, 8u);
+}
+
+TEST_F(StringReaderTest, FetchBatchShortReadsAtEof) {
+  auto reader = Open({});
+  reader->BeginScan();
+  char a[64], b[64], c[64];
+  std::vector<FetchRequest> requests = {
+      {data_.size() - 100, 64, a, 0},  // fully inside
+      {data_.size() - 10, 64, b, 0},   // short
+      {data_.size() + 5, 64, c, 0},    // past the end
+  };
+  ASSERT_TRUE(reader->FetchBatch(requests).ok());
+  EXPECT_EQ(requests[0].got, 64u);
+  EXPECT_EQ(requests[1].got, 10u);
+  EXPECT_EQ(std::string(requests[1].out, requests[1].got),
+            data_.substr(data_.size() - 10));
+  EXPECT_EQ(requests[2].got, 0u);
+}
+
+TEST_F(StringReaderTest, FetchBatchRejectsUnsortedStream) {
+  auto reader = Open({});
+  reader->BeginScan();
+  char a[8], b[8];
+  std::vector<FetchRequest> requests = {{5000, 8, a, 0}, {4000, 8, b, 0}};
+  Status status = reader->FetchBatch(requests);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST_F(StringReaderTest, RandomFetchBatchHitsResidentWindow) {
+  StringReaderOptions options;
+  options.buffer_bytes = 8192;
+  options.random_window_bytes = 4096;
+  auto reader = Open(options);
+  char a[16], b[16], c[16];
+  // First request repositions (one seek); the other two hit the window.
+  std::vector<FetchRequest> requests = {
+      {500000, 16, a, 0}, {500100, 16, b, 0}, {500050, 16, c, 0}};
+  ASSERT_TRUE(reader->RandomFetchBatch(requests).ok());
+  for (const FetchRequest& r : requests) {
+    ASSERT_EQ(r.got, 16u);
+    EXPECT_EQ(std::string(r.out, r.got), data_.substr(r.pos, 16));
+  }
+  EXPECT_EQ(stats_.seeks, 1u);
+  EXPECT_EQ(stats_.fetch_batches, 1u);
+  EXPECT_EQ(stats_.batched_requests, 3u);
+}
+
 TEST(DiskModelTest, PricesTransferAndSeeks) {
   IoStats stats;
   stats.bytes_read = 100 * 1024 * 1024;  // 1 second at 100 MB/s
