@@ -69,6 +69,12 @@ BuildOptions BenchOptions(uint64_t memory_budget, const std::string& tag) {
   BuildOptions options;
   options.memory_budget = memory_budget;
   options.work_dir = WorkDir(tag);
+  // The figure/table harnesses price IoStats with DiskModel to reproduce
+  // the paper's algorithmic I/O; read-ahead is an implementation detail
+  // whose speculative windows (one per scan tail) would drift those
+  // numbers, so it stays off here. bench_e2e_build measures it instead,
+  // as wall time against LatencyEnv.
+  options.prefetch_reads = false;
   return options;
 }
 

@@ -63,6 +63,12 @@ struct BuildOptions {
   /// Skip unneeded blocks with a seek during scans (Section 4.4).
   bool seek_optimization = true;
 
+  /// Double-buffered read-ahead on the sequential scans (vertical counting,
+  /// occurrence scans, SubTreePrepare rounds): a background thread fetches
+  /// the next input-buffer window while the builder consumes the resident
+  /// one, hiding device latency behind compute. See PrefetchingStringReader.
+  bool prefetch_reads = true;
+
   /// Directory that receives serialized sub-trees and the index manifest.
   std::string work_dir;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "text/aho_corasick.h"
 
@@ -23,7 +24,22 @@ void GroupStrBuilder::CloseLeaf(State* state, uint32_t node,
   n.leaf_id = pos;
 }
 
+Status GroupStrBuilder::CheckEdgeLimit() const {
+  // Every edge label is a substring of S, so text_length_ fitting in the
+  // 32-bit TreeNode field bounds every edge_len this module assigns
+  // (CloseLeaf tails and the incremental open-edge extensions alike) —
+  // the same 4 GiB node-format limit BuildSubTree enforces per edge.
+  if (text_length_ > std::numeric_limits<uint32_t>::max()) {
+    return Status::Internal(
+        "text length " + std::to_string(text_length_) +
+        " exceeds the 32-bit tree-node edge limit; the BranchEdge method "
+        "cannot represent its leaf edges");
+  }
+  return Status::OK();
+}
+
 Status GroupStrBuilder::Run() {
+  ERA_RETURN_NOT_OK(CheckEdgeLimit());
   // One shared scan finds the occurrence lists of every prefix in the group.
   std::vector<std::string> patterns;
   states_.resize(group_.prefixes.size());

@@ -64,6 +64,11 @@ class GroupStrBuilder {
   void CloseLeaf(State* state, uint32_t node, uint64_t parent_depth,
                  uint64_t pos);
 
+  /// Rejects inputs whose edges cannot fit the 32-bit node field (every
+  /// edge label is a substring of S, so checking text_length_ once covers
+  /// all assignments).
+  Status CheckEdgeLimit() const;
+
   const VirtualTree& group_;
   RangePolicy policy_;
   StringReader* reader_;

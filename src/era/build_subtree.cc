@@ -1,8 +1,28 @@
 #include "era/build_subtree.h"
 
+#include <limits>
+#include <string>
 #include <vector>
 
 namespace era {
+
+namespace {
+
+/// TreeNode stores edge lengths in 32 bits. An input whose suffix edges pass
+/// 4 GiB cannot be represented in the current node format, so fail loudly
+/// instead of silently truncating into a wrong tree.
+Status CheckedEdgeLen(uint64_t len, uint32_t* out) {
+  if (len > std::numeric_limits<uint32_t>::max()) {
+    return Status::Internal(
+        "edge length " + std::to_string(len) +
+        " overflows the 32-bit tree-node field; the input is beyond the "
+        "node format's 4 GiB edge limit");
+  }
+  *out = static_cast<uint32_t>(len);
+  return Status::OK();
+}
+
+}  // namespace
 
 StatusOr<TreeBuffer> BuildSubTree(const PreparedSubTree& prepared,
                                   uint64_t text_length) {
@@ -29,7 +49,8 @@ StatusOr<TreeBuffer> BuildSubTree(const PreparedSubTree& prepared,
     uint32_t leaf = tree.AddNode();
     TreeNode& node = tree.node(leaf);
     node.edge_start = leaves[0];
-    node.edge_len = static_cast<uint32_t>(text_length - leaves[0]);
+    ERA_RETURN_NOT_OK(
+        CheckedEdgeLen(text_length - leaves[0], &node.edge_len));
     node.leaf_id = leaves[0];
     tree.node(0).first_child = leaf;
     stack.push_back({leaf, text_length - leaves[0]});
@@ -65,7 +86,7 @@ StatusOr<TreeBuffer> BuildSubTree(const PreparedSubTree& prepared,
       TreeNode& last_node = tree.node(last);
       TreeNode& mid_node = tree.node(mid);
       mid_node.edge_start = last_node.edge_start;
-      mid_node.edge_len = static_cast<uint32_t>(d - parent_depth);
+      ERA_RETURN_NOT_OK(CheckedEdgeLen(d - parent_depth, &mid_node.edge_len));
       last_node.edge_start += mid_node.edge_len;
       last_node.edge_len -= mid_node.edge_len;
       mid_node.first_child = last;
@@ -97,7 +118,8 @@ StatusOr<TreeBuffer> BuildSubTree(const PreparedSubTree& prepared,
     uint32_t leaf = tree.AddNode();
     TreeNode& leaf_node = tree.node(leaf);
     leaf_node.edge_start = leaves[i] + d;
-    leaf_node.edge_len = static_cast<uint32_t>(text_length - leaves[i] - d);
+    ERA_RETURN_NOT_OK(
+        CheckedEdgeLen(text_length - leaves[i] - d, &leaf_node.edge_len));
     leaf_node.leaf_id = leaves[i];
     tree.node(last).next_sibling = leaf;
     (void)attach;

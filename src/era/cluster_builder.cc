@@ -44,12 +44,9 @@ StatusOr<ClusterBuildResult> ClusterBuilder::Build(const TextInfo& text) {
   result.transfer_seconds = static_cast<double>(text.length) /
                             cluster_.network_bytes_per_second;
 
-  // Longest-processing-time assignment of groups to nodes.
-  std::vector<std::size_t> order(plan.groups.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return plan.groups[a].total_frequency > plan.groups[b].total_frequency;
-  });
+  // Longest-processing-time assignment of groups to nodes (same LPT order
+  // the shared-memory pipeline feeds its queue, incl. deterministic ties).
+  std::vector<std::size_t> order = LptGroupOrder(plan.groups);
   std::vector<std::vector<std::size_t>> assignment(nodes);
   std::vector<uint64_t> load(nodes, 0);
   for (std::size_t g : order) {
@@ -73,6 +70,7 @@ StatusOr<ClusterBuildResult> ClusterBuilder::Build(const TextInfo& text) {
         StringReaderOptions reader_options;
         reader_options.buffer_bytes = layout.input_buffer_bytes;
         reader_options.seek_optimization = node_options.seek_optimization;
+        reader_options.prefetch = node_options.prefetch_reads && !wavefront;
         ERA_ASSIGN_OR_RETURN(auto reader,
                              OpenStringReader(env, text.path, reader_options,
                                               &result.node_io[nd]));

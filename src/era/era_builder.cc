@@ -8,6 +8,7 @@
 #include "era/build_subtree.h"
 #include "era/range_policy.h"
 #include "era/subtree_prepare.h"
+#include "era/subtree_writer.h"
 #include "suffixtree/serializer.h"
 
 namespace era {
@@ -22,49 +23,72 @@ std::string BuildStats::ToString() const {
   return os.str();
 }
 
+StatusOr<uint64_t> BuildAndEmitPrefix(const BuildOptions& options,
+                                      uint64_t text_length, uint64_t group_id,
+                                      std::size_t k, PreparedSubTree&& prepared,
+                                      GroupOutput* out,
+                                      BackgroundSubTreeWriter* writer) {
+  ERA_ASSIGN_OR_RETURN(TreeBuffer tree, BuildSubTree(prepared, text_length));
+  return EmitBuiltSubTree(options, group_id, k, std::move(prepared.prefix),
+                          static_cast<uint64_t>(prepared.leaves.size()),
+                          std::move(tree), out, writer);
+}
+
+StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
+                                    uint64_t group_id, std::size_t k,
+                                    std::string prefix, uint64_t frequency,
+                                    TreeBuffer&& tree, GroupOutput* out,
+                                    BackgroundSubTreeWriter* writer) {
+  const uint64_t bytes = tree.MemoryBytes();
+  std::string filename =
+      "st_" + std::to_string(group_id) + "_" + std::to_string(k) + ".bin";
+  std::string path = options.work_dir + "/" + filename;
+  out->subtrees[k] = {prefix, frequency, std::move(filename)};
+  if (writer != nullptr) {
+    writer->Enqueue(std::move(path), std::move(prefix), std::move(tree));
+  } else {
+    ERA_RETURN_NOT_OK(WriteSubTree(options.GetEnv(), path, prefix, tree,
+                                   &out->write_io));
+  }
+  return bytes;
+}
+
 Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
                     const MemoryLayout& layout, const VirtualTree& group,
-                    uint64_t group_id, StringReader* reader,
-                    GroupOutput* out) {
-  Env* env = options.GetEnv();
+                    uint64_t group_id, StringReader* reader, GroupOutput* out,
+                    BackgroundSubTreeWriter* writer) {
   RangePolicy policy = RangePolicy::FromOptions(options, layout.r_buffer_bytes);
-  IoStats* write_stats = &out->write_io;
+  out->subtrees.resize(group.prefixes.size());
 
   if (options.horizontal == HorizontalMethod::kBranchEdge) {
     GroupStrBuilder builder(group, policy, reader, text.length);
     ERA_RETURN_NOT_OK(builder.Run());
     out->rounds = builder.stats().rounds;
-    uint64_t tree_bytes = 0;
     for (std::size_t k = 0; k < builder.results().size(); ++k) {
       auto& [prefix, tree] = builder.results()[k];
-      tree_bytes += tree.MemoryBytes();
-      std::string filename = "st_" + std::to_string(group_id) + "_" +
-                             std::to_string(k) + ".bin";
-      ERA_RETURN_NOT_OK(WriteSubTree(env, options.work_dir + "/" + filename,
-                                     prefix, tree, write_stats));
-      out->subtrees.push_back(
-          {prefix, group.prefixes[k].frequency, filename});
+      ERA_ASSIGN_OR_RETURN(
+          uint64_t bytes,
+          EmitBuiltSubTree(options, group_id, k, prefix,
+                           group.prefixes[k].frequency, std::move(tree), out,
+                           writer));
+      out->tree_bytes += bytes;
     }
-    out->tree_bytes = tree_bytes;
   } else {
     GroupPreparer preparer(group, policy, reader, text.length);
+    // Stream: a resolved prefix is built and handed to the writer while the
+    // remaining prefixes are still scanning S (pipeline stages 2 and 3
+    // overlap stage 1 even inside a single group).
+    preparer.SetEmitCallback(
+        [&](std::size_t k, PreparedSubTree&& prepared) -> Status {
+          ERA_ASSIGN_OR_RETURN(
+              uint64_t bytes,
+              BuildAndEmitPrefix(options, text.length, group_id, k,
+                                 std::move(prepared), out, writer));
+          out->tree_bytes += bytes;
+          return Status::OK();
+        });
     ERA_RETURN_NOT_OK(preparer.Run());
     out->rounds = preparer.stats().rounds;
-    uint64_t tree_bytes = 0;
-    for (std::size_t k = 0; k < preparer.results().size(); ++k) {
-      PreparedSubTree& prepared = preparer.results()[k];
-      ERA_ASSIGN_OR_RETURN(TreeBuffer tree,
-                           BuildSubTree(prepared, text.length));
-      tree_bytes += tree.MemoryBytes();
-      std::string filename = "st_" + std::to_string(group_id) + "_" +
-                             std::to_string(k) + ".bin";
-      ERA_RETURN_NOT_OK(WriteSubTree(env, options.work_dir + "/" + filename,
-                                     prepared.prefix, tree, write_stats));
-      out->subtrees.push_back(
-          {prepared.prefix, static_cast<uint64_t>(prepared.leaves.size()),
-           filename});
-    }
-    out->tree_bytes = tree_bytes;
   }
   return Status::OK();
 }
@@ -113,6 +137,7 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
   StringReaderOptions reader_options;
   reader_options.buffer_bytes = options_.input_buffer_bytes;
   reader_options.seek_optimization = options_.seek_optimization;
+  reader_options.prefetch = options_.prefetch_reads;
   IoStats scan_stats;
   ERA_ASSIGN_OR_RETURN(auto reader,
                        OpenStringReader(options_.GetEnv(), text.path,
@@ -127,6 +152,9 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
         std::max(stats.peak_tree_bytes, outputs[g].tree_bytes);
     stats.io.Add(outputs[g].write_io);
   }
+  // A prefetching reader bills its residual speculative window at
+  // destruction; tear it down before aggregating so nothing is lost.
+  reader.reset();
   stats.io.Add(scan_stats);
   stats.horizontal_seconds = horizontal_timer.Seconds();
 

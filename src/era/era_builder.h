@@ -45,6 +45,9 @@ struct BuildResult {
   BuildStats stats;
 };
 
+class BackgroundSubTreeWriter;
+struct PreparedSubTree;
+
 /// Output of processing one virtual tree (used by serial and parallel
 /// drivers alike).
 struct GroupOutput {
@@ -53,19 +56,47 @@ struct GroupOutput {
     uint64_t frequency = 0;
     std::string filename;
   };
+  /// Slot-indexed by the prefix's position in the group, so the (group, k)
+  /// assembly order is deterministic no matter which worker (or background
+  /// writer) finishes a sub-tree first.
   std::vector<SubTreeOut> subtrees;
   uint32_t rounds = 0;
-  uint64_t tree_bytes = 0;  // peak in-memory sub-tree bytes for the group
-  IoStats write_io;         // serialization traffic (merged by the driver)
+  uint64_t tree_bytes = 0;  // sum of the group's sub-tree bytes
+  IoStats write_io;         // synchronous serialization traffic
 };
+
+/// Names one built sub-tree `st_<group_id>_<k>.bin`, records it in
+/// out->subtrees[k] (which must already be sized), and either writes it
+/// synchronously (billing out->write_io) or hands it to `writer`. Returns
+/// the tree's in-memory size. Safe to call concurrently for distinct slots
+/// of the same GroupOutput.
+StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
+                                    uint64_t group_id, std::size_t k,
+                                    std::string prefix, uint64_t frequency,
+                                    TreeBuffer&& tree, GroupOutput* out,
+                                    BackgroundSubTreeWriter* writer);
+
+/// The full per-prefix tail of the pipeline: BuildSubTree on a prepared
+/// prefix, then EmitBuiltSubTree. One body shared by the serial streaming
+/// callback and the parallel kBuildPrefix task so the two paths cannot
+/// diverge. Returns the tree's in-memory size.
+StatusOr<uint64_t> BuildAndEmitPrefix(const BuildOptions& options,
+                                      uint64_t text_length, uint64_t group_id,
+                                      std::size_t k, PreparedSubTree&& prepared,
+                                      GroupOutput* out,
+                                      BackgroundSubTreeWriter* writer);
 
 /// Builds all sub-trees of `group`, writes them under `options.work_dir`
 /// with filenames `st_<group_id>_<k>`, and reports what was written.
-/// `reader` supplies the (instrumented) scans of S.
+/// `reader` supplies the (instrumented) scans of S. The prepare stage
+/// streams: each prefix is built and written (or enqueued on `writer`, when
+/// given) as soon as it resolves, before the group's remaining prefixes
+/// finish preparing.
 Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
                     const MemoryLayout& layout, const VirtualTree& group,
                     uint64_t group_id, StringReader* reader,
-                    GroupOutput* out);
+                    GroupOutput* out,
+                    BackgroundSubTreeWriter* writer = nullptr);
 
 /// Assembles a TreeIndex from per-group outputs plus the partition plan's
 /// direct trie leaves, and saves its manifest into `options.work_dir`.

@@ -2,14 +2,46 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <numeric>
 #include <thread>
+#include <vector>
 
 #include "common/timer.h"
+#include "era/build_subtree.h"
 #include "era/memory_layout.h"
+#include "era/range_policy.h"
+#include "era/subtree_prepare.h"
+#include "era/subtree_writer.h"
+#include "era/work_queue.h"
 #include "wavefront/wavefront.h"
 
 namespace era {
+
+std::vector<std::size_t> LptGroupOrder(
+    const std::vector<VirtualTree>& groups) {
+  std::vector<std::size_t> order(groups.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (groups[a].total_frequency != groups[b].total_frequency) {
+      return groups[a].total_frequency > groups[b].total_frequency;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+namespace {
+
+/// Hand-off area between a group's prepare stage and the (stealable) build
+/// tasks it spawns. `prepared` is slot-indexed; a slot is written by the
+/// preparing worker strictly before the matching task is pushed (the queue
+/// mutex publishes it), and moved out by whichever worker pops that task.
+struct GroupWork {
+  std::vector<PreparedSubTree> prepared;
+  std::atomic<uint64_t> tree_bytes{0};
+};
+
+}  // namespace
 
 StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
   WallTimer total_timer;
@@ -49,22 +81,54 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
   stats.num_groups = plan.groups.size();
   stats.num_subtrees = plan.NumSubTrees();
 
-  // Workers drain a shared queue of virtual trees.
+  // ---- Horizontal phase: subtree-granular pipeline. ----
   WallTimer horizontal_timer;
-  std::atomic<std::size_t> next_group{0};
-  std::vector<GroupOutput> outputs(plan.groups.size());
+  const std::size_t num_groups = plan.groups.size();
+  std::vector<GroupOutput> outputs(num_groups);
+  std::vector<GroupWork> works(num_groups);
   std::vector<IoStats> worker_io(num_workers_);
   std::vector<double> worker_seconds(num_workers_, 0);
+  std::vector<double> worker_busy_seconds(num_workers_, 0);
   std::vector<Status> worker_status(num_workers_);
-  std::vector<std::thread> workers;
 
+  // Stage 3: finished trees leave the workers' critical path through a
+  // bounded background writer. The backlog bound reuses the tree area of
+  // one per-core share — memory the serial design would have spent holding
+  // a group's trees until its last prefix anyway.
+  BackgroundSubTreeWriter writer(
+      env, /*num_threads=*/2,
+      /*max_queued_bytes=*/
+      std::max<uint64_t>(layout.tree_area_bytes, 4ull << 20));
+
+  // Stage 1: LPT-ordered injection queue + per-worker deques.
+  WorkStealingQueue queue(num_workers_);
+  {
+    std::vector<PipelineTask> seeds;
+    seeds.reserve(num_groups);
+    for (std::size_t g : LptGroupOrder(plan.groups)) {
+      seeds.push_back({PipelineTask::Kind::kGroup,
+                       static_cast<uint32_t>(g), 0});
+    }
+    queue.SeedGlobal(std::move(seeds));
+  }
+
+  const RangePolicy policy =
+      RangePolicy::FromOptions(worker_options, layout.r_buffer_bytes);
+  const bool prepare_build =
+      !wavefront && worker_options.horizontal == HorizontalMethod::kPrepareBuild;
+
+  std::vector<std::thread> workers;
   for (unsigned w = 0; w < num_workers_; ++w) {
     workers.emplace_back([&, w] {
       WallTimer worker_timer;
+      double busy = 0;
       auto run = [&]() -> Status {
+        // Stage 2: the scan reader double-buffers through a background
+        // prefetch thread so device latency hides behind the radix kernel.
         StringReaderOptions reader_options;
         reader_options.buffer_bytes = layout.input_buffer_bytes;
         reader_options.seek_optimization = worker_options.seek_optimization;
+        reader_options.prefetch = worker_options.prefetch_reads && !wavefront;
         ERA_ASSIGN_OR_RETURN(auto reader,
                              OpenStringReader(env, text.path, reader_options,
                                               &worker_io[w]));
@@ -86,30 +150,76 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
                                OpenStringReader(env, text.path, edge_options,
                                                 &worker_io[w]));
         }
-        for (;;) {
-          std::size_t g = next_group.fetch_add(1);
-          if (g >= plan.groups.size()) break;
-          if (wavefront) {
-            ERA_RETURN_NOT_OK(WaveFrontProcessUnit(
-                text, worker_options, plan.groups[g], g, reader.get(),
-                suffix_reader.get(), edge_reader.get(), &outputs[g]));
-          } else {
-            ERA_RETURN_NOT_OK(ProcessGroup(text, worker_options, layout,
-                                           plan.groups[g], g, reader.get(),
-                                           &outputs[g]));
+
+        auto run_task = [&](const PipelineTask& task) -> Status {
+          const uint32_t g = task.group;
+          if (task.kind == PipelineTask::Kind::kBuildPrefix) {
+            GroupWork& gw = works[g];
+            ERA_ASSIGN_OR_RETURN(
+                uint64_t bytes,
+                BuildAndEmitPrefix(worker_options, text.length, g, task.prefix,
+                                   std::move(gw.prepared[task.prefix]),
+                                   &outputs[g], &writer));
+            gw.tree_bytes.fetch_add(bytes, std::memory_order_relaxed);
+            return Status::OK();
           }
+          if (wavefront) {
+            return WaveFrontProcessUnit(text, worker_options, plan.groups[g],
+                                        g, reader.get(), suffix_reader.get(),
+                                        edge_reader.get(), &outputs[g]);
+          }
+          if (!prepare_build) {
+            // BranchEdge fuses prepare+build per group; only its writes
+            // overlap (the background writer).
+            return ProcessGroup(text, worker_options, layout, plan.groups[g],
+                                g, reader.get(), &outputs[g], &writer);
+          }
+          // Prepare stage: stream each resolved prefix out as a stealable
+          // build task, then keep draining our own deque LIFO.
+          const VirtualTree& group = plan.groups[g];
+          GroupWork& gw = works[g];
+          gw.prepared.resize(group.prefixes.size());
+          outputs[g].subtrees.resize(group.prefixes.size());
+          GroupPreparer preparer(group, policy, reader.get(), text.length);
+          preparer.SetEmitCallback(
+              [&](std::size_t k, PreparedSubTree&& prepared) -> Status {
+                gw.prepared[k] = std::move(prepared);
+                queue.Push(w, {PipelineTask::Kind::kBuildPrefix, g,
+                               static_cast<uint32_t>(k)});
+                return Status::OK();
+              });
+          ERA_RETURN_NOT_OK(preparer.Run());
+          outputs[g].rounds = preparer.stats().rounds;
+          return Status::OK();
+        };
+
+        PipelineTask task;
+        while (queue.Pop(w, &task)) {
+          WallTimer task_timer;
+          Status s = run_task(task);
+          busy += task_timer.Seconds();
+          queue.TaskDone();
+          ERA_RETURN_NOT_OK(s);
         }
         return Status::OK();
       };
       worker_status[w] = run();
+      if (!worker_status[w].ok()) queue.Abort();
       worker_seconds[w] = worker_timer.Seconds();
+      worker_busy_seconds[w] = busy;
     });
   }
   for (auto& t : workers) t.join();
+  Status write_status = writer.Drain();
   for (const Status& s : worker_status) ERA_RETURN_NOT_OK(s);
+  ERA_RETURN_NOT_OK(write_status);
 
   for (const IoStats& io : worker_io) stats.io.Add(io);
-  for (const GroupOutput& output : outputs) {
+  stats.io.Add(writer.io());
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    GroupOutput& output = outputs[g];
+    output.tree_bytes +=
+        works[g].tree_bytes.load(std::memory_order_relaxed);
     stats.prepare_rounds += output.rounds;
     stats.peak_tree_bytes = std::max(stats.peak_tree_bytes, output.tree_bytes);
     stats.io.Add(output.write_io);
@@ -120,6 +230,7 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
   ERA_ASSIGN_OR_RETURN(result.index,
                        AssembleIndex(text, worker_options, plan, outputs));
   result.worker_seconds = worker_seconds;
+  result.worker_busy_seconds = worker_busy_seconds;
   stats.total_seconds = total_timer.Seconds();
   result.stats = stats;
   return result;

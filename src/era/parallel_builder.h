@@ -1,10 +1,24 @@
-// Shared-memory / shared-disk parallel construction (Section 5).
+// Shared-memory / shared-disk parallel construction (Section 5), pipelined.
 //
-// A master performs vertical partitioning, then the virtual trees are
-// divided among worker threads. All workers read the same input file (the
-// architecture's strength) and split the memory budget equally (its
-// constraint): FM is computed from the per-core share, so more cores mean
-// smaller sub-trees — the interference-driven scaling limit of Figure 12.
+// A master performs vertical partitioning, then the horizontal phase runs as
+// a three-stage pipeline over subtree-granular tasks:
+//
+//   1. Scheduling — group tasks seed a work-stealing queue in LPT order
+//      (era/work_queue.h); a group's prepare stage spawns one build task per
+//      prefix the moment that prefix resolves, so idle workers steal
+//      BuildSubTree work out of large groups mid-prepare.
+//   2. Read-ahead — each worker's StringReader double-buffers its
+//      sequential scans through a background prefetch thread
+//      (PrefetchingStringReader), hiding device latency behind the radix
+//      kernel.
+//   3. Write overlap — finished trees go to a bounded BackgroundSubTreeWriter
+//      instead of blocking the worker; (group, k) slot naming keeps the
+//      assembled index byte-identical for any worker count.
+//
+// All workers read the same input file (the architecture's strength) and
+// split the memory budget equally (its constraint): FM is computed from the
+// per-core share, so more cores mean smaller sub-trees — the
+// interference-driven scaling limit of Figure 12.
 
 #ifndef ERA_ERA_PARALLEL_BUILDER_H_
 #define ERA_ERA_PARALLEL_BUILDER_H_
@@ -28,7 +42,16 @@ struct ParallelBuildResult {
   TreeIndex index;
   BuildStats stats;
   std::vector<double> worker_seconds;
+  /// Seconds each worker spent executing pipeline tasks (the rest of
+  /// worker_seconds is time idle-waiting for stealable work).
+  std::vector<double> worker_busy_seconds;
 };
+
+/// LPT dispatch order: group indices sorted by descending total_frequency,
+/// ties by ascending index (deterministic). Seeding the queue in this order
+/// keeps one giant group from landing on the last free worker. Exposed for
+/// tests.
+std::vector<std::size_t> LptGroupOrder(const std::vector<VirtualTree>& groups);
 
 /// Multicore builder over a shared Env/input file.
 class ParallelBuilder {

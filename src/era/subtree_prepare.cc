@@ -107,7 +107,21 @@ constexpr uint32_t kRadixCutoff = 48;
 /// Sorts [a, a+n) by (key, slot): American-flag MSD radix over the key's
 /// bytes, insertion sort below the cutoff.
 void RadixSortKeys(WindowSortRec* a, uint32_t n, uint32_t key_byte) {
-  if (n < kRadixCutoff || key_byte > 7) {
+  if (key_byte > 7) {
+    // Exhausted key: every record in this bucket shares all 8 bytes, so
+    // only the slot order remains — and the earlier byte passes scrambled
+    // it. Insertion sort here is Theta(n^2) on large equal-key runs (e.g.
+    // thousands of poly-A windows), so restore slot order directly.
+    if (n >= kRadixCutoff) {
+      std::sort(a, a + n, [](const WindowSortRec& x, const WindowSortRec& y) {
+        return x.slot < y.slot;
+      });
+    } else {
+      InsertionSortByKeySlot(a, n);
+    }
+    return;
+  }
+  if (n < kRadixCutoff) {
     InsertionSortByKeySlot(a, n);
     return;
   }
@@ -483,8 +497,33 @@ void GroupPreparer::EmitSnapshot(uint32_t range) {
   observer_(snapshot);
 }
 
+Status GroupPreparer::FlushResolved() {
+  if (!emit_) return Status::OK();
+  for (std::size_t k = 0; k < states_.size(); ++k) {
+    State& state = states_[k];
+    if (state.emitted || !state.areas.empty()) continue;
+    state.emitted = true;
+    PreparedSubTree prepared;
+    prepared.prefix = std::move(state.prefix);
+    prepared.leaves = std::move(state.L);
+    prepared.branches = std::move(state.B);
+    // Later rounds still walk this state: its (now moved-from) arrays are
+    // never touched again because areas is empty and every I entry is
+    // kDoneSlot.
+    ERA_RETURN_NOT_OK(emit_(k, std::move(prepared)));
+  }
+  return Status::OK();
+}
+
 Status GroupPreparer::Run() {
+  if (emit_ && observer_) {
+    // FlushResolved moves each resolved state's arrays out; the trace
+    // observer would then snapshot moved-from (empty) states silently.
+    return Status::InvalidArgument(
+        "SetEmitCallback and SetObserver are mutually exclusive");
+  }
   ERA_RETURN_NOT_OK(ScanOccurrences());
+  ERA_RETURN_NOT_OK(FlushResolved());  // single-occurrence prefixes
 
   while (true) {
     uint64_t total_active = 0;
@@ -498,8 +537,10 @@ Status GroupPreparer::Run() {
     ++stats_.rounds;
     ERA_RETURN_NOT_OK(RunRound(range));
     EmitSnapshot(range);
+    ERA_RETURN_NOT_OK(FlushResolved());
   }
 
+  if (emit_) return Status::OK();  // everything already streamed out
   results_.clear();
   results_.reserve(states_.size());
   for (State& state : states_) {

@@ -88,10 +88,21 @@ class GroupPreparer {
     observer_ = std::move(observer);
   }
 
+  /// Streaming hand-off: called with (k, prepared) the moment prefix k's
+  /// (L, B) is fully defined — often many rounds before the rest of the
+  /// group resolves, which is what lets BuildSubTree/serialization overlap
+  /// the remaining prepare scans. When set, ownership of each
+  /// PreparedSubTree moves to the callback and results() stays empty.
+  /// Mutually exclusive with SetObserver (the trace observer needs every
+  /// state's arrays to survive to the end).
+  using EmitFn = std::function<Status(std::size_t k, PreparedSubTree&&)>;
+  void SetEmitCallback(EmitFn emit) { emit_ = std::move(emit); }
+
   /// Finds the occurrences (one scan) and iterates until every B is defined.
   Status Run();
 
-  /// Results, one per prefix in group order. Valid after Run().
+  /// Results, one per prefix in group order. Valid after Run(); empty when
+  /// an emit callback consumed them instead.
   std::vector<PreparedSubTree>& results() { return results_; }
   const PrepareStats& stats() const { return stats_; }
 
@@ -122,11 +133,14 @@ class GroupPreparer {
     std::vector<char> was_active;   // slot took part in the current round
     uint64_t window_base = 0;       // first arena compact index of this state
     uint64_t active_count = 0;
+    bool emitted = false;           // handed to the emit callback already
   };
 
   Status ScanOccurrences();
   Status RunRound(uint32_t range);
   void EmitSnapshot(uint32_t range);
+  /// Hands every newly resolved state (no active areas left) to emit_.
+  Status FlushResolved();
 
   const VirtualTree& group_;
   RangePolicy policy_;
@@ -136,6 +150,7 @@ class GroupPreparer {
   std::vector<PreparedSubTree> results_;
   PrepareStats stats_;
   std::function<void(const PrepareSnapshot&)> observer_;
+  EmitFn emit_;
 
   // Recycled hot-path working memory (see prepare_scratch.h): the arena,
   // the k-way cursor merger, and the per-state appearance-rank cursors.

@@ -1,0 +1,81 @@
+#include "era/subtree_writer.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "suffixtree/serializer.h"
+
+namespace era {
+
+namespace {
+
+/// One queued write. Heap-allocated and shared because ThreadPool tasks are
+/// std::function (copyable) while TreeBuffer is move-only in spirit.
+struct WriteJob {
+  std::string path;
+  std::string prefix;
+  TreeBuffer tree;
+  uint64_t bytes = 0;
+};
+
+}  // namespace
+
+BackgroundSubTreeWriter::BackgroundSubTreeWriter(Env* env,
+                                                 std::size_t num_threads,
+                                                 uint64_t max_queued_bytes)
+    : env_(env),
+      max_queued_bytes_(std::max<uint64_t>(max_queued_bytes, 1)),
+      pool_(num_threads) {}
+
+BackgroundSubTreeWriter::~BackgroundSubTreeWriter() { (void)Drain(); }
+
+void BackgroundSubTreeWriter::Enqueue(std::string path, std::string prefix,
+                                      TreeBuffer tree) {
+  auto job = std::make_shared<WriteJob>();
+  job->path = std::move(path);
+  job->prefix = std::move(prefix);
+  job->bytes = tree.MemoryBytes();
+  job->tree = std::move(tree);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A failed build must not keep blocking producers on backpressure —
+    // fail fast instead of draining a doomed backlog through the device.
+    cv_.wait(lock, [this, &job] {
+      return !first_error_.ok() || queued_bytes_ == 0 ||
+             queued_bytes_ + job->bytes <= max_queued_bytes_;
+    });
+    if (!first_error_.ok()) return;  // build is failing; drop the work
+    queued_bytes_ += job->bytes;
+    peak_queued_bytes_ = std::max(peak_queued_bytes_, queued_bytes_);
+  }
+
+  pool_.Submit([this, job] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_.ok()) {
+        // Skip the device for work queued before the first failure.
+        queued_bytes_ -= job->bytes;
+        cv_.notify_all();
+        return;
+      }
+    }
+    IoStats local;
+    Status s =
+        WriteSubTree(env_, job->path, job->prefix, job->tree, &local);
+    std::lock_guard<std::mutex> lock(mu_);
+    io_.Add(local);
+    if (!s.ok() && first_error_.ok()) first_error_ = s;
+    queued_bytes_ -= job->bytes;
+    cv_.notify_all();
+  });
+}
+
+Status BackgroundSubTreeWriter::Drain() {
+  pool_.WaitIdle();
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+}  // namespace era

@@ -1,0 +1,71 @@
+// Bounded background serialization of finished sub-trees (the write-overlap
+// stage of the pipelined horizontal phase).
+//
+// Workers hand a built TreeBuffer off and immediately return to preparing or
+// building the next prefix; a small ThreadPool drains the queue through
+// WriteSubTree. Admission is bounded by queued bytes so a slow device cannot
+// buffer an entire build in memory. Output determinism is unaffected: each
+// file's bytes depend only on (prefix, tree), and the st_<group>_<k> naming
+// plus slot-indexed GroupOutput recording fix the assembly order before any
+// write races can occur.
+
+#ifndef ERA_ERA_SUBTREE_WRITER_H_
+#define ERA_ERA_SUBTREE_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "io/env.h"
+#include "io/io_stats.h"
+#include "suffixtree/tree_buffer.h"
+
+namespace era {
+
+class BackgroundSubTreeWriter {
+ public:
+  /// `max_queued_bytes` bounds the in-memory backlog (tree bytes accepted
+  /// but not yet written); Enqueue blocks while it is exceeded. A tree
+  /// larger than the whole bound is still admitted once the queue is empty,
+  /// so progress is always possible.
+  BackgroundSubTreeWriter(Env* env, std::size_t num_threads,
+                          uint64_t max_queued_bytes);
+  /// Drains outstanding writes (errors are reported via Drain; call it).
+  ~BackgroundSubTreeWriter();
+
+  BackgroundSubTreeWriter(const BackgroundSubTreeWriter&) = delete;
+  BackgroundSubTreeWriter& operator=(const BackgroundSubTreeWriter&) = delete;
+
+  /// Queues `tree` for serialization to `path`. Blocks on backpressure.
+  /// After the first write error every later Enqueue is dropped; Drain()
+  /// returns that error.
+  void Enqueue(std::string path, std::string prefix, TreeBuffer tree);
+
+  /// Waits for every queued write and returns the first error.
+  Status Drain();
+
+  /// Aggregate serialization traffic. Only stable after Drain().
+  const IoStats& io() const { return io_; }
+  /// High-water mark of the backlog, for tuning the bound.
+  uint64_t peak_queued_bytes() const { return peak_queued_bytes_; }
+
+ private:
+  Env* env_;
+  uint64_t max_queued_bytes_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t queued_bytes_ = 0;
+  uint64_t peak_queued_bytes_ = 0;
+  Status first_error_;
+
+  IoStats io_;
+  ThreadPool pool_;  // last: its workers use the members above
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_SUBTREE_WRITER_H_

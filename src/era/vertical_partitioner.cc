@@ -63,6 +63,7 @@ StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
   StringReaderOptions reader_options;
   reader_options.buffer_bytes = options.input_buffer_bytes;
   reader_options.seek_optimization = false;  // counting reads everything
+  reader_options.prefetch = options.prefetch_reads;
   ERA_ASSIGN_OR_RETURN(auto reader,
                        OpenStringReader(options.GetEnv(), text.path,
                                         reader_options, &plan.io));
@@ -106,6 +107,14 @@ StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
       for (int s = 0; s < alphabet.size(); ++s) {
         next_working.push_back(p + alphabet.Symbol(s));
       }
+      if (p.size() > n) {
+        // Defensive: n - p.size() below would wrap around. Under current
+        // invariants this cannot fire — a prefix longer than the body has
+        // freq 0 (patterns never contain the terminal) and was skipped
+        // above — but the guard keeps the arithmetic safe if the scan or
+        // terminal conventions ever change.
+        continue;
+      }
       uint64_t tail_pos = n - p.size();
       // p matches at tail_pos iff S ends with p right before the terminal.
       // The match set was counted above; re-checking via the text tail costs
@@ -125,6 +134,10 @@ StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
 
   plan.groups =
       GroupPrefixes(std::move(accepted), fm, options.group_virtual_trees);
+  // The reader bills into plan.io at destruction (a prefetching reader's
+  // residual speculative window); destroy it before plan leaves the scope
+  // so the accounting never depends on copy elision.
+  reader.reset();
   plan.seconds = timer.Seconds();
   return plan;
 }

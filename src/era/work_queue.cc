@@ -1,0 +1,70 @@
+#include "era/work_queue.h"
+
+#include <utility>
+
+namespace era {
+
+WorkStealingQueue::WorkStealingQueue(unsigned num_workers)
+    : local_(num_workers == 0 ? 1 : num_workers) {}
+
+void WorkStealingQueue::SeedGlobal(std::vector<PipelineTask> tasks) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_ += tasks.size();
+    for (const PipelineTask& t : tasks) global_.push_back(t);
+  }
+  cv_.notify_all();
+}
+
+void WorkStealingQueue::Push(unsigned worker, PipelineTask task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+    local_[worker].push_back(task);
+  }
+  cv_.notify_one();
+}
+
+bool WorkStealingQueue::Pop(unsigned worker, PipelineTask* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (aborted_) return false;
+    if (!local_[worker].empty()) {
+      *out = local_[worker].back();
+      local_[worker].pop_back();
+      return true;
+    }
+    if (!global_.empty()) {
+      *out = global_.front();
+      global_.pop_front();
+      return true;
+    }
+    for (std::size_t i = 1; i < local_.size(); ++i) {
+      std::deque<PipelineTask>& victim =
+          local_[(worker + i) % local_.size()];
+      if (!victim.empty()) {
+        *out = victim.front();
+        victim.pop_front();
+        return true;
+      }
+    }
+    if (outstanding_ == 0) return false;
+    cv_.wait(lock);
+  }
+}
+
+void WorkStealingQueue::TaskDone() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_ > 0) --outstanding_;
+  if (outstanding_ == 0) cv_.notify_all();
+}
+
+void WorkStealingQueue::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace era

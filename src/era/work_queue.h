@@ -1,0 +1,79 @@
+// Subtree-granular scheduling for the pipelined horizontal phase.
+//
+// Work units are no longer whole virtual-tree groups: a group's prepare
+// stage spawns one build task per prefix the moment that prefix's (L, B)
+// resolves, so the expensive BuildSubTree/serialization work of a large
+// group can be stolen by idle workers while the group's remaining prefixes
+// are still being prepared.
+//
+// Topology: one injection queue seeded with the group tasks in LPT order
+// (descending total frequency — the classic longest-processing-time
+// heuristic, so the giant group never lands on the last free worker), plus
+// one deque per worker for the tasks it spawns. A worker pops its own deque
+// LIFO (it just produced those prefixes; their prepared arrays are warm),
+// then takes from the injection queue, then steals the *oldest* task of
+// another worker (FIFO — the task its owner is least likely to reach soon).
+//
+// Implementation note: one mutex guards everything. Task counts are small
+// (hundreds) and tasks are coarse (milliseconds to seconds), so a lock-free
+// Chase-Lev deque would buy nothing; what matters is the steal *policy*.
+
+#ifndef ERA_ERA_WORK_QUEUE_H_
+#define ERA_ERA_WORK_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace era {
+
+/// One schedulable unit of the horizontal phase.
+struct PipelineTask {
+  enum class Kind : uint8_t {
+    kGroup,        // run a group's prepare (or fused) stage
+    kBuildPrefix,  // build + hand off one prepared prefix
+  };
+  Kind kind = Kind::kGroup;
+  uint32_t group = 0;
+  uint32_t prefix = 0;  // meaningful for kBuildPrefix
+};
+
+/// Blocking multi-queue with work stealing. Thread-safe. Every task taken
+/// from Pop must be matched by exactly one TaskDone so completion can be
+/// detected (tasks may spawn tasks, so "all queues empty" is not "done").
+class WorkStealingQueue {
+ public:
+  explicit WorkStealingQueue(unsigned num_workers);
+
+  /// Seeds the injection queue (callers pass tasks already in LPT order).
+  void SeedGlobal(std::vector<PipelineTask> tasks);
+
+  /// Pushes a spawned task onto `worker`'s own deque.
+  void Push(unsigned worker, PipelineTask task);
+
+  /// Takes the next task for `worker` (own LIFO, then injection FIFO, then
+  /// steal FIFO). Blocks while tasks are in flight elsewhere; returns false
+  /// once every task has completed or Abort() was called.
+  bool Pop(unsigned worker, PipelineTask* out);
+
+  /// Marks one previously popped task complete.
+  void TaskDone();
+
+  /// Wakes every worker and makes all further Pops return false (first
+  /// error wins; outstanding work is abandoned).
+  void Abort();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PipelineTask> global_;
+  std::vector<std::deque<PipelineTask>> local_;
+  std::size_t outstanding_ = 0;  // seeded/pushed tasks not yet TaskDone'd
+  bool aborted_ = false;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_WORK_QUEUE_H_

@@ -9,7 +9,10 @@ std::string IoStats::ToString() const {
   os << "read=" << bytes_read << "B written=" << bytes_written
      << "B seq_refills=" << sequential_refills << " seeks=" << seeks
      << " skipped=" << bytes_skipped << "B scans=" << scans_started
-     << " batches=" << fetch_batches << " batched_reqs=" << batched_requests;
+     << " batches=" << fetch_batches << " batched_reqs=" << batched_requests
+     << " prefetch_hits=" << prefetch_hits
+     << " prefetch_misses=" << prefetch_misses
+     << " prefetched=" << prefetched_bytes << "B";
   return os.str();
 }
 

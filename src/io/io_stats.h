@@ -34,6 +34,17 @@ struct IoStats {
   uint64_t fetch_batches = 0;
   /// Total individual requests served through batched fetches.
   uint64_t batched_requests = 0;
+  /// Sequential window refills served from a completed background prefetch
+  /// (the device wait overlapped with compute; see PrefetchingStringReader).
+  uint64_t prefetch_hits = 0;
+  /// Sequential window refills that went to the device in the foreground
+  /// even though prefetching was enabled (first window of a scan, or the
+  /// scan jumped outside the predicted next window).
+  uint64_t prefetch_misses = 0;
+  /// Bytes transferred by background prefetch reads. Counted into
+  /// bytes_read as well: this is real device traffic, just issued off the
+  /// consuming thread.
+  uint64_t prefetched_bytes = 0;
 
   /// Accumulates `other` into this (for aggregating per-thread stats).
   void Add(const IoStats& other) {
@@ -45,6 +56,9 @@ struct IoStats {
     scans_started += other.scans_started;
     fetch_batches += other.fetch_batches;
     batched_requests += other.batched_requests;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_misses += other.prefetch_misses;
+    prefetched_bytes += other.prefetched_bytes;
   }
 
   std::string ToString() const;

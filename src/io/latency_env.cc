@@ -1,0 +1,94 @@
+#include "io/latency_env.h"
+
+#include <chrono>
+#include <thread>
+
+namespace era {
+
+namespace {
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds));
+}
+
+class LatencyRandomAccessFile : public RandomAccessFile {
+ public:
+  LatencyRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                          const LatencyModel& model)
+      : base_(std::move(base)), model_(model) {}
+
+  Status Read(uint64_t offset, std::size_t n, char* scratch,
+              std::size_t* out_n) const override {
+    ERA_RETURN_NOT_OK(base_->Read(offset, n, scratch, out_n));
+    SleepSeconds(model_.ReadSeconds(*out_n));
+    return Status::OK();
+  }
+
+  Status ReadAt(uint64_t offset, std::size_t n, char* scratch,
+                std::size_t* out_n) const override {
+    ERA_RETURN_NOT_OK(base_->ReadAt(offset, n, scratch, out_n));
+    SleepSeconds(model_.ReadSeconds(*out_n));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  LatencyModel model_;
+};
+
+class LatencyWritableFile : public WritableFile {
+ public:
+  LatencyWritableFile(std::unique_ptr<WritableFile> base,
+                      const LatencyModel& model)
+      : base_(std::move(base)), model_(model) {}
+
+  Status Append(const char* data, std::size_t n) override {
+    ERA_RETURN_NOT_OK(base_->Append(data, n));
+    SleepSeconds(model_.WriteSeconds(n));
+    return Status::OK();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  LatencyModel model_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<RandomAccessFile>> LatencyEnv::OpenRandomAccess(
+    const std::string& path) {
+  ERA_ASSIGN_OR_RETURN(auto file, base_->OpenRandomAccess(path));
+  return std::unique_ptr<RandomAccessFile>(
+      new LatencyRandomAccessFile(std::move(file), model_));
+}
+
+StatusOr<std::unique_ptr<WritableFile>> LatencyEnv::NewWritable(
+    const std::string& path) {
+  ERA_ASSIGN_OR_RETURN(auto file, base_->NewWritable(path));
+  return std::unique_ptr<WritableFile>(
+      new LatencyWritableFile(std::move(file), model_));
+}
+
+bool LatencyEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+StatusOr<uint64_t> LatencyEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status LatencyEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+Status LatencyEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+}  // namespace era

@@ -25,6 +25,9 @@ class MemRandomAccessFile : public RandomAccessFile {
     return Status::OK();
   }
 
+  // The backing string is immutable once opened (writers replace the map
+  // entry with a fresh shared_ptr), so the inherited ReadAt default
+  // (forward to Read) is safe to call concurrently.
   uint64_t Size() const override { return data_->size(); }
 
  private:

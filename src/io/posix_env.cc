@@ -38,6 +38,8 @@ class PosixRandomAccessFile : public RandomAccessFile {
     return Status::OK();
   }
 
+  // pread never touches a shared cursor, so the inherited ReadAt default
+  // (forward to Read; concurrent background reads) holds without locking.
   uint64_t Size() const override { return size_; }
 
  private:

@@ -196,10 +196,130 @@ Status StringReader::RandomFetch(uint64_t pos, uint32_t len, char* out,
   return Status::OK();
 }
 
+PrefetchingStringReader::PrefetchingStringReader(
+    std::unique_ptr<RandomAccessFile> file, const StringReaderOptions& options,
+    IoStats* stats)
+    : StringReader(std::move(file), options, stats) {
+  back_buffer_.resize(buffer_.size());
+  thread_ = std::thread([this] { PrefetchLoop(); });
+}
+
+PrefetchingStringReader::~PrefetchingStringReader() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Bill reads the consumer never synchronized on (e.g. the speculative
+  // window past the last refill of a scan) — they did hit the device.
+  if (stats_ != nullptr) stats_->Add(background_io_);
+}
+
+void PrefetchingStringReader::PrefetchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return shutdown_ || pending_; });
+    if (shutdown_) return;
+    const uint64_t pos = pending_pos_;
+    lock.unlock();
+    std::size_t got = 0;
+    Status s = file_->ReadAt(pos, back_buffer_.size(), back_buffer_.data(),
+                             &got);
+    lock.lock();
+    if (s.ok()) {
+      back_start_ = pos;
+      back_len_ = got;
+      back_valid_ = got > 0;
+      background_io_.bytes_read += got;
+      background_io_.prefetched_bytes += got;
+      ++background_io_.sequential_refills;
+    } else {
+      background_status_ = s;
+      back_valid_ = false;
+    }
+    pending_ = false;
+    cv_.notify_all();
+  }
+}
+
+void PrefetchingStringReader::StartPrefetchLocked(uint64_t pos) {
+  pending_pos_ = pos;
+  pending_ = true;
+  cv_.notify_all();
+}
+
+Status PrefetchingStringReader::Refill(uint64_t pos, bool sequential,
+                                       bool full_window) {
+  if (!sequential || !full_window) {
+    // Random repositionings (including seek-optimization skips) keep the
+    // base path. The background read (if any) only touches the back
+    // buffer, so it may proceed concurrently; its window stays valid for
+    // when the interrupted scan resumes. A skip also breaks the streak
+    // that re-arms a paused speculation.
+    recovery_refills_ = 0;
+    return StringReader::Refill(pos, sequential, full_window);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !pending_; });
+  if (stats_ != nullptr) {
+    stats_->Add(background_io_);
+    background_io_ = IoStats();
+  }
+  if (!background_status_.ok()) {
+    // The speculation failed, but this refill may target a readable
+    // window the algorithm actually needs — treat it as a miss and let
+    // the foreground read's own status decide. A real device error still
+    // fails fast below.
+    background_status_ = Status::OK();
+    back_valid_ = false;
+  }
+  if (back_valid_ && pos >= back_start_ && pos < back_start_ + back_len_) {
+    std::swap(buffer_, back_buffer_);
+    buffer_start_ = back_start_;
+    buffer_len_ = back_len_;
+    has_window_ = true;
+    back_valid_ = false;
+    wasted_speculations_ = 0;
+    recovery_refills_ = 0;
+    if (stats_ != nullptr) ++stats_->prefetch_hits;
+    if (buffer_start_ + buffer_len_ < file_->Size()) {
+      StartPrefetchLocked(buffer_start_ + buffer_len_);
+    }
+    return Status::OK();
+  }
+  if (back_valid_) ++wasted_speculations_;  // speculated, scan went elsewhere
+  back_valid_ = false;
+  lock.unlock();
+  ERA_RETURN_NOT_OK(StringReader::Refill(pos, sequential, full_window));
+  if (stats_ != nullptr) ++stats_->prefetch_misses;
+  bool speculate = true;
+  if (wasted_speculations_ >= kMaxWastedSpeculations) {
+    // Sparse scan: stop burning bandwidth on windows the skips jump over
+    // until the pattern proves sequential again.
+    if (++recovery_refills_ >= kRecoveryRefills) {
+      wasted_speculations_ = 0;
+      recovery_refills_ = 0;
+    } else {
+      speculate = false;
+    }
+  }
+  if (!speculate) return Status::OK();
+  lock.lock();
+  if (buffer_len_ > 0 && buffer_start_ + buffer_len_ < file_->Size()) {
+    StartPrefetchLocked(buffer_start_ + buffer_len_);
+  }
+  return Status::OK();
+}
+
 StatusOr<std::unique_ptr<StringReader>> OpenStringReader(
     Env* env, const std::string& path, const StringReaderOptions& options,
     IoStats* stats) {
   ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
+  if (options.prefetch) {
+    return std::unique_ptr<StringReader>(
+        new PrefetchingStringReader(std::move(file), options, stats));
+  }
   return std::make_unique<StringReader>(std::move(file), options, stats);
 }
 

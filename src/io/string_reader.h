@@ -17,9 +17,12 @@
 #ifndef ERA_IO_STRING_READER_H_
 #define ERA_IO_STRING_READER_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -46,6 +49,12 @@ struct StringReaderOptions {
   /// pattern is sequential volume, not head movement (see
   /// wavefront/wavefront.h).
   bool bill_random_as_sequential = false;
+  /// Double-buffer sequential refills: a background thread reads the next
+  /// window via RandomAccessFile::ReadAt while the builder consumes the
+  /// resident one, hiding device latency behind compute (Section 4.4's
+  /// CPU/I-O overlap argument). OpenStringReader returns a
+  /// PrefetchingStringReader when set.
+  bool prefetch = false;
 };
 
 /// One read of a batched fetch. `out` must have room for `len` bytes; `got`
@@ -92,20 +101,17 @@ class StringReader {
   /// File size in bytes.
   uint64_t size() const { return file_->Size(); }
 
- private:
+  virtual ~StringReader() = default;
+
+ protected:
   /// Loads the window so that it starts at `pos`. `sequential` controls
   /// whether the move is billed as a continued scan or as a seek;
   /// `full_window` loads the whole scan buffer even on a seek (used by the
   /// disk-seek optimization, which continues a scan after the skip).
-  Status Refill(uint64_t pos, bool sequential, bool full_window = true);
-
-  /// Core of Fetch: reads [pos, pos+len) into `out`, moving the window as
-  /// needed. Does not validate scan monotonicity (callers do).
-  Status FetchInto(uint64_t pos, uint32_t len, char* out, uint32_t* out_len);
-
-  /// Shared body of FetchBatch/RandomFetchBatch; `sequential` selects the
-  /// monotonicity check and the buffer-miss path.
-  Status ServeBatch(std::span<FetchRequest> requests, bool sequential);
+  /// Virtual so PrefetchingStringReader can satisfy sequential refills from
+  /// its background double buffer.
+  virtual Status Refill(uint64_t pos, bool sequential,
+                        bool full_window = true);
 
   std::unique_ptr<RandomAccessFile> file_;
   StringReaderOptions options_;
@@ -114,8 +120,70 @@ class StringReader {
   std::vector<char> buffer_;
   uint64_t buffer_start_ = 0;  // file offset of buffer_[0]
   uint64_t buffer_len_ = 0;    // valid bytes in buffer_
-  uint64_t scan_pos_ = 0;      // last requested position in this scan
   bool has_window_ = false;
+
+ private:
+  /// Core of Fetch: reads [pos, pos+len) into `out`, moving the window as
+  /// needed. Does not validate scan monotonicity (callers do).
+  Status FetchInto(uint64_t pos, uint32_t len, char* out, uint32_t* out_len);
+
+  /// Shared body of FetchBatch/RandomFetchBatch; `sequential` selects the
+  /// monotonicity check and the buffer-miss path.
+  Status ServeBatch(std::span<FetchRequest> requests, bool sequential);
+
+  uint64_t scan_pos_ = 0;      // last requested position in this scan
+};
+
+/// StringReader whose sequential refills are double-buffered: while the
+/// builder consumes the resident window, a background thread already reads
+/// the next one through RandomAccessFile::ReadAt. A refill that lands inside
+/// the completed background read swaps buffers instead of touching the
+/// device (an IoStats prefetch hit); anything else — scan restarts, long
+/// seek-optimization skips, random repositionings — falls back to the base
+/// synchronous path. Like StringReader it is single-consumer: only the
+/// internal prefetch thread runs concurrently with the owner.
+class PrefetchingStringReader : public StringReader {
+ public:
+  PrefetchingStringReader(std::unique_ptr<RandomAccessFile> file,
+                          const StringReaderOptions& options, IoStats* stats);
+  ~PrefetchingStringReader() override;
+
+ protected:
+  Status Refill(uint64_t pos, bool sequential, bool full_window) override;
+
+ private:
+  void PrefetchLoop();
+  /// Starts a background read of the window at `pos`. Caller holds mu_ and
+  /// has verified no request is pending.
+  void StartPrefetchLocked(uint64_t pos);
+
+  // Adaptive speculation throttle (consumer-thread-only state): on
+  // seek-optimized sparse scans every skip discards the in-flight
+  // speculative window, so after `kMaxWastedSpeculations` consecutive
+  // wasted windows speculation pauses until the access pattern proves
+  // sequential again (`kRecoveryRefills` uninterrupted sequential refills).
+  static constexpr uint32_t kMaxWastedSpeculations = 2;
+  static constexpr uint32_t kRecoveryRefills = 2;
+  uint32_t wasted_speculations_ = 0;
+  uint32_t recovery_refills_ = 0;
+
+  // All fields below mu_ are shared with the prefetch thread. The back
+  // buffer itself is only touched by the consumer when no request is
+  // pending, and only by the prefetch thread while one is.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> back_buffer_;
+  uint64_t back_start_ = 0;
+  uint64_t back_len_ = 0;
+  bool back_valid_ = false;
+  bool pending_ = false;
+  uint64_t pending_pos_ = 0;
+  bool shutdown_ = false;
+  Status background_status_;
+  /// Traffic performed by the background thread; folded into stats_ by the
+  /// consumer at the next refill (IoStats itself is not thread-safe).
+  IoStats background_io_;
+  std::thread thread_;
 };
 
 /// Opens `path` from `env` and wraps it in a StringReader.

@@ -4,9 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "era/branch_edge.h"
+#include "era/build_subtree.h"
 #include "era/era_builder.h"
+#include "era/memory_layout.h"
 #include "era/range_policy.h"
 #include "era/subtree_prepare.h"
+#include "era/vertical_partitioner.h"
 #include "io/mem_env.h"
 #include "suffixtree/validator.h"
 #include "tests/test_util.h"
@@ -175,6 +181,100 @@ TEST(EdgeCaseTest, FixedRangeOneSymbol) {
   auto result = builder.Build(*info);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(testing::IndexMatchesOracle(&env, result->index, text));
+}
+
+TEST(EdgeCaseTest, BuildSubTreeAcceptsEdgeLenAtThe32BitBoundary) {
+  // BuildSubTree works purely on (L, B) and text_length, so the 4 GiB edge
+  // boundary is testable without materializing a 4 GiB string. One leaf at
+  // position 5 with text_length = 5 + UINT32_MAX puts the leaf edge exactly
+  // at the widest representable length.
+  const uint64_t kMax = std::numeric_limits<uint32_t>::max();
+  PreparedSubTree prepared;
+  prepared.prefix = "A";
+  prepared.leaves = {5};
+  prepared.branches.resize(1);
+  prepared.branches[0].defined = true;  // sentinel
+  auto tree = BuildSubTree(prepared, /*text_length=*/5 + kMax);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->node(1).edge_len, kMax);
+}
+
+TEST(EdgeCaseTest, BuildSubTreeRejectsEdgeLenOverflow) {
+  // One past the boundary: silently truncating edge_len used to produce a
+  // structurally wrong tree; now it must fail loudly.
+  const uint64_t kMax = std::numeric_limits<uint32_t>::max();
+  PreparedSubTree prepared;
+  prepared.prefix = "A";
+  prepared.leaves = {5};
+  prepared.branches.resize(1);
+  prepared.branches[0].defined = true;
+  auto tree = BuildSubTree(prepared, /*text_length=*/5 + kMax + 1);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_TRUE(tree.status().IsInternal()) << tree.status().ToString();
+}
+
+TEST(EdgeCaseTest, BuildSubTreeRejectsOverflowOnLaterLeaves) {
+  // The first leaf fits but the second one's edge (text_length - pos - d)
+  // still overflows; every edge_len assignment must be checked.
+  const uint64_t kMax = std::numeric_limits<uint32_t>::max();
+  PreparedSubTree prepared;
+  prepared.prefix = "A";
+  prepared.leaves = {static_cast<uint64_t>(kMax) + 10, 2};
+  prepared.branches.resize(2);
+  prepared.branches[0].defined = true;
+  prepared.branches[1] = {/*offset=*/1, 'a', 'b', /*defined=*/true};
+  auto tree = BuildSubTree(prepared, /*text_length=*/kMax + 20);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_TRUE(tree.status().IsInternal()) << tree.status().ToString();
+}
+
+TEST(EdgeCaseTest, BranchEdgeRejectsTextBeyondEdgeLimit) {
+  // The BranchEdge method assigns whole suffix tails as edge labels, so a
+  // text past the 32-bit node field must be rejected up front instead of
+  // silently truncating (the same guarantee CheckedEdgeLen gives the
+  // prepare/build path).
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/s", "ACGT~").ok());
+  IoStats io;
+  auto reader = OpenStringReader(&env, "/s", {}, &io);
+  ASSERT_TRUE(reader.ok());
+  VirtualTree group;
+  group.prefixes.push_back({"A", 1});
+  GroupStrBuilder builder(
+      group, RangePolicy::Fixed(4), reader->get(),
+      /*text_length=*/uint64_t{std::numeric_limits<uint32_t>::max()} + 2);
+  Status s = builder.Run();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+}
+
+TEST(EdgeCaseTest, VerticalPartitionSurvivesDegenerateTinyInputs) {
+  // Tiny bodies with a tiny FM: working prefixes quickly reach (and the
+  // guard must stop them at) the text-body boundary where
+  // n - p.size() would wrap around.
+  for (const char* body : {"", "A", "AA", "AC", "AAA"}) {
+    MemEnv env;
+    std::string text = std::string(body) + '~';
+    auto info = MaterializeText(&env, "/t", Alphabet::Dna(), text);
+    ASSERT_TRUE(info.ok());
+    BuildOptions options;
+    options.env = &env;
+    options.work_dir = "/idx";
+    options.memory_budget = 1 << 20;
+    options.input_buffer_bytes = 4096;
+    for (uint64_t fm : {1u, 2u, 100u}) {
+      auto plan = VerticalPartition(*info, options, fm);
+      ASSERT_TRUE(plan.ok()) << "body '" << body << "' fm " << fm << ": "
+                             << plan.status().ToString();
+      // Accounting must still close: every suffix lands in exactly one
+      // sub-tree or direct trie leaf.
+      uint64_t suffixes = plan->terminal_leaves.size();
+      for (const VirtualTree& g : plan->groups) {
+        suffixes += g.total_frequency;
+      }
+      EXPECT_EQ(suffixes, text.size()) << "body '" << body << "' fm " << fm;
+    }
+  }
 }
 
 TEST(EdgeCaseTest, SweepSeedsForFuzzCoverage) {

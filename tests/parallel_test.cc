@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.h"
 #include "era/cluster_builder.h"
+#include "era/memory_layout.h"
 #include "era/parallel_builder.h"
 #include "io/mem_env.h"
 #include "suffixtree/validator.h"
@@ -115,6 +116,43 @@ TEST(ParallelBuilderTest, RejectsBudgetSmallerThanWorkerCount) {
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument())
       << result.status().ToString();
+}
+
+TEST(ParallelBuilderTest, LptOrderSortsGroupsByDescendingFrequency) {
+  // The giant group must be dispatched first, not land on the last free
+  // worker (longest-processing-time heuristic).
+  std::vector<VirtualTree> groups(5);
+  groups[0].total_frequency = 10;
+  groups[1].total_frequency = 500;
+  groups[2].total_frequency = 10;  // tie with 0: index order breaks it
+  groups[3].total_frequency = 90000;
+  groups[4].total_frequency = 4000;
+  std::vector<std::size_t> order = LptGroupOrder(groups);
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 1, 0, 2}));
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(groups[order[i - 1]].total_frequency,
+              groups[order[i]].total_frequency)
+        << "dispatch order is not LPT at position " << i;
+  }
+}
+
+TEST(ParallelBuilderTest, LptOrderMatchesRealPartitionPlan) {
+  // End-to-end: the order fed to the queue for a real plan is monotonically
+  // non-increasing in total_frequency.
+  auto w = MakeWorkload(30000, 59);
+  BuildOptions options = BaseOptions(&w->env, "/lpt");
+  options.memory_budget = 1 << 20;  // small budget => many groups
+  auto layout = PlanMemory(options, w->info.alphabet.size());
+  ASSERT_TRUE(layout.ok());
+  auto plan = VerticalPartition(w->info, options, layout->fm);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_GT(plan->groups.size(), 2u);
+  std::vector<std::size_t> order = LptGroupOrder(plan->groups);
+  ASSERT_EQ(order.size(), plan->groups.size());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(plan->groups[order[i - 1]].total_frequency,
+              plan->groups[order[i]].total_frequency);
+  }
 }
 
 TEST(ParallelBuilderTest, WaveFrontVariantMatchesOracle) {
