@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 
 #include "io/env.h"
@@ -139,6 +141,21 @@ Timing TimingOf(const BuildStats& stats) {
   t.wall = stats.total_seconds;
   t.modeled = stats.ModeledSeconds(BenchDiskModel());
   return t;
+}
+
+double ArgOr(int argc, char** argv, const char* name, double def) {
+  const std::string key = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key.c_str(), key.size()) == 0) {
+      return std::atof(argv[i] + key.size());
+    }
+  }
+  return def;
+}
+
+ScopedRemoveAll::~ScopedRemoveAll() {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);
 }
 
 }  // namespace bench

@@ -75,6 +75,16 @@ Timing TimingOf(const BuildStats& stats);
 /// The disk model used by every harness (100 MB/s, 8 ms seeks).
 const DiskModel& BenchDiskModel();
 
+/// `--name=<double>` flag from argv, or `def` (shared by the standalone
+/// JSON-emitting harnesses, which take no gbench-style flags).
+double ArgOr(int argc, char** argv, const char* name, double def);
+
+/// Removes `path` recursively on every exit path, success or failure.
+struct ScopedRemoveAll {
+  std::string path;
+  ~ScopedRemoveAll();
+};
+
 }  // namespace bench
 }  // namespace era
 

@@ -25,13 +25,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/options.h"
 #include "era/parallel_builder.h"
 #include "io/latency_env.h"
@@ -41,6 +39,9 @@
 
 namespace era {
 namespace {
+
+using bench::ArgOr;
+using bench::ScopedRemoveAll;
 
 struct RunResult {
   unsigned workers = 0;
@@ -58,36 +59,17 @@ struct RunResult {
   uint64_t num_subtrees = 0;
 };
 
-double Arg(int argc, char** argv, const char* name, double def) {
-  const std::string key = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], key.c_str(), key.size()) == 0) {
-      return std::atof(argv[i] + key.size());
-    }
-  }
-  return def;
-}
-
-/// Removes the /tmp working tree on every exit path, success or failure.
-struct ScopedRemoveAll {
-  std::string path;
-  ~ScopedRemoveAll() {
-    std::error_code ec;
-    std::filesystem::remove_all(path, ec);
-  }
-};
-
 int Main(int argc, char** argv) {
-  const double text_mb = Arg(argc, argv, "mb", 4.0);
-  const double bandwidth_mb = Arg(argc, argv, "bandwidth-mb", 96.0);
-  const double per_core_budget_mb = Arg(argc, argv, "budget-mb", 8.0);
-  const double buffer_kb = Arg(argc, argv, "buffer-kb", 256.0);
+  const double text_mb = ArgOr(argc, argv, "mb", 4.0);
+  const double bandwidth_mb = ArgOr(argc, argv, "bandwidth-mb", 96.0);
+  const double per_core_budget_mb = ArgOr(argc, argv, "budget-mb", 8.0);
+  const double buffer_kb = ArgOr(argc, argv, "buffer-kb", 256.0);
   // Pure sequential scans: at this corpus/window scale a 64 KiB+ gap skip
   // re-reads a full window per seek, which amplifies device traffic past
   // plain read-through — and read-ahead can only double-buffer scans it can
   // predict. The paper's seek optimization pays off when skips dwarf the
   // window; that regime is the figure benches' territory.
-  const bool seek_opt = Arg(argc, argv, "seek-opt", 0.0) != 0.0;
+  const bool seek_opt = ArgOr(argc, argv, "seek-opt", 0.0) != 0.0;
   const uint64_t body_len = static_cast<uint64_t>(text_mb * 1024 * 1024);
 
   LatencyModel model;
@@ -138,7 +120,7 @@ int Main(int argc, char** argv) {
         per_core_budget_mb * 1024 * 1024 * config.workers);
     options.input_buffer_bytes = static_cast<uint64_t>(buffer_kb * 1024);
     options.r_buffer_bytes = static_cast<uint64_t>(
-        Arg(argc, argv, "r-buffer-mb", 4.0) * 1024 * 1024);
+        ArgOr(argc, argv, "r-buffer-mb", 4.0) * 1024 * 1024);
     options.seek_optimization = seek_opt;
     options.prefetch_reads = config.prefetch;
 

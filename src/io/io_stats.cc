@@ -12,7 +12,9 @@ std::string IoStats::ToString() const {
      << " batches=" << fetch_batches << " batched_reqs=" << batched_requests
      << " prefetch_hits=" << prefetch_hits
      << " prefetch_misses=" << prefetch_misses
-     << " prefetched=" << prefetched_bytes << "B";
+     << " prefetched=" << prefetched_bytes << "B"
+     << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
+     << " cache_evicted=" << cache_evicted_bytes << "B";
   return os.str();
 }
 

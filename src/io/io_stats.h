@@ -45,6 +45,13 @@ struct IoStats {
   /// bytes_read as well: this is real device traffic, just issued off the
   /// consuming thread.
   uint64_t prefetched_bytes = 0;
+  /// Sub-tree opens served from the in-memory cache (no device traffic).
+  uint64_t cache_hits = 0;
+  /// Sub-tree opens that had to load the file from the device.
+  uint64_t cache_misses = 0;
+  /// Bytes of cached sub-trees dropped by LRU budget evictions (explicit
+  /// EvictCache sweeps are not counted; see TreeIndex).
+  uint64_t cache_evicted_bytes = 0;
 
   /// Accumulates `other` into this (for aggregating per-thread stats).
   void Add(const IoStats& other) {
@@ -59,6 +66,9 @@ struct IoStats {
     prefetch_hits += other.prefetch_hits;
     prefetch_misses += other.prefetch_misses;
     prefetched_bytes += other.prefetched_bytes;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_evicted_bytes += other.cache_evicted_bytes;
   }
 
   std::string ToString() const;

@@ -8,10 +8,10 @@ namespace era {
 
 namespace {
 
-/// Iterative DFS over one sub-tree invoking `visit(node, depth, parent_depth)`
-/// for every internal node with >= 2 children (true branching points).
+/// Iterative DFS over one sub-tree invoking `visit(node, depth)` for every
+/// internal node with >= 2 children (true branching points).
 template <typename Visit>
-void VisitBranchingNodes(const TreeBuffer& tree, Visit&& visit) {
+void VisitBranchingNodes(const CountedTree& tree, Visit&& visit) {
   struct Frame {
     uint32_t node;
     uint64_t depth;
@@ -20,23 +20,21 @@ void VisitBranchingNodes(const TreeBuffer& tree, Visit&& visit) {
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    const TreeNode& n = tree.node(f.node);
+    const CountedNode& n = tree.node(f.node);
     if (n.IsLeaf()) continue;
-    uint32_t children = 0;
-    for (uint32_t c = n.first_child; c != kNilNode;
-         c = tree.node(c).next_sibling) {
-      ++children;
+    for (uint32_t i = 0; i < n.num_children; ++i) {
+      uint32_t c = n.children_begin + i;
       stack.push_back({c, f.depth + tree.node(c).edge_len});
     }
-    if (children >= 2) visit(f.node, f.depth);
+    if (n.num_children >= 2) visit(f.node, f.depth);
   }
 }
 
 /// First leaf position under `node` (cheap existence witness).
-uint64_t FirstLeafUnder(const TreeBuffer& tree, uint32_t node) {
+uint64_t FirstLeafUnder(const CountedTree& tree, uint32_t node) {
   uint32_t u = node;
-  while (!tree.node(u).IsLeaf()) u = tree.node(u).first_child;
-  return tree.node(u).leaf_id;
+  while (!tree.node(u).IsLeaf()) u = tree.node(u).children_begin;
+  return tree.node(u).leaf_id();
 }
 
 }  // namespace
@@ -109,16 +107,20 @@ StatusOr<Motif> MostFrequentKmer(Env* env, const TreeIndex& index,
     while (!stack.empty()) {
       Frame f = stack.back();
       stack.pop_back();
-      const TreeNode& n = tree->node(f.node);
+      const CountedNode& n = tree->node(f.node);
       if (f.depth >= k) {
         // All leaves below share the first k symbols.
         std::vector<uint64_t> leaves;
-        CollectLeaves(*tree, f.node, &leaves, SIZE_MAX);
+        CollectLeaves(*tree, f.node, &leaves);
+        // Exclude windows that would run past the text body (terminal), and
+        // witness the motif with an occurrence that lies fully inside it.
         uint64_t offset = leaves.front();
-        // Exclude windows that would run past the text body (terminal).
         uint64_t count = 0;
         for (uint64_t pos : leaves) {
-          if (pos + k < text.size()) ++count;  // strictly inside the body
+          if (pos + k < text.size()) {  // strictly inside the body
+            if (count == 0) offset = pos;
+            ++count;
+          }
         }
         if (count > best.count) {
           best.count = count;
@@ -126,8 +128,8 @@ StatusOr<Motif> MostFrequentKmer(Env* env, const TreeIndex& index,
         }
         continue;
       }
-      for (uint32_t c = n.first_child; c != kNilNode;
-           c = tree->node(c).next_sibling) {
+      for (uint32_t i = 0; i < n.num_children; ++i) {
+        uint32_t c = n.children_begin + i;
         stack.push_back({c, f.depth + tree->node(c).edge_len});
       }
     }
@@ -169,7 +171,7 @@ StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
     VisitBranchingNodes(*tree, [&](uint32_t node, uint64_t depth) {
       if (depth <= best.length) return;
       std::vector<uint64_t> leaves;
-      CollectLeaves(*tree, node, &leaves, SIZE_MAX);
+      CollectLeaves(*tree, node, &leaves);
       bool has_a = false;
       bool has_b = false;
       for (uint64_t pos : leaves) {

@@ -12,96 +12,213 @@ void CollectLeaves(const TreeBuffer& tree, uint32_t node,
     stack.pop_back();
     const TreeNode& n = tree.node(u);
     if (n.IsLeaf()) leaves->push_back(n.leaf_id);
-    // Push children in reverse sibling order to emit lexicographically.
-    std::vector<uint32_t> children;
+    // Push the children, then reverse the just-pushed segment in place so
+    // the first child is popped next (lexicographic emission) without a
+    // per-node scratch allocation.
+    std::size_t first = stack.size();
     for (uint32_t c = n.first_child; c != kNilNode;
          c = tree.node(c).next_sibling) {
-      children.push_back(c);
+      stack.push_back(c);
     }
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      stack.push_back(*it);
+    std::reverse(stack.begin() + first, stack.end());
+  }
+}
+
+void CollectLeaves(const CountedTree& tree, uint32_t node,
+                   std::vector<uint64_t>* leaves) {
+  const CountedNode& n = tree.node(node);
+  if (n.IsLeaf()) {
+    leaves->push_back(n.leaf_id());
+    return;
+  }
+  // The strict descendants of `node` occupy one contiguous slot range
+  // starting at children_begin (enforced at load; see serializer.cc), so
+  // every leaf below sits in that range and the scan stops once the
+  // subtree's leaf count is met.
+  uint64_t remaining = n.leaf_or_count;
+  leaves->reserve(leaves->size() + remaining);
+  for (uint32_t i = n.children_begin; remaining > 0 && i < tree.size(); ++i) {
+    const CountedNode& c = tree.node(i);
+    if (c.IsLeaf()) {
+      leaves->push_back(c.leaf_id());
+      --remaining;
     }
   }
 }
 
 StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
-    Env* env, const std::string& index_dir) {
+    Env* env, const std::string& index_dir, const QueryEngineOptions& options) {
   ERA_ASSIGN_OR_RETURN(TreeIndex index, TreeIndex::Load(env, index_dir));
+  index.ConfigureCache(options.cache);
   std::unique_ptr<QueryEngine> engine(
-      new QueryEngine(env, std::move(index)));
-  StringReaderOptions reader_options;
-  reader_options.buffer_bytes = 64 << 10;
-  ERA_ASSIGN_OR_RETURN(
-      engine->text_reader_,
-      OpenStringReader(env, engine->index_.text().path, reader_options,
-                       &engine->io_));
+      new QueryEngine(env, std::move(index), options));
+  // Open (and immediately pool) one session so a missing text file fails at
+  // Open rather than on the first query.
+  ERA_ASSIGN_OR_RETURN(auto session, engine->AcquireSession());
+  engine->ReleaseSession(std::move(session));
   return engine;
 }
 
+StatusOr<std::unique_ptr<QueryEngine::Session>> QueryEngine::AcquireSession() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_.empty()) {
+      auto session = std::move(pool_.back());
+      pool_.pop_back();
+      return session;
+    }
+  }
+  auto session = std::make_unique<Session>();
+  StringReaderOptions reader_options;
+  reader_options.buffer_bytes = options_.reader_buffer_bytes;
+  ERA_ASSIGN_OR_RETURN(session->reader,
+                       OpenStringReader(env_, index_.text().path,
+                                        reader_options, &session->io));
+  return session;
+}
+
+void QueryEngine::ReleaseSession(std::unique_ptr<Session> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  io_.Add(session->io);
+  stats_.Add(session->stats);
+  session->io = IoStats{};
+  session->stats = QueryStats{};
+  if (pool_.size() < options_.max_pooled_sessions) {
+    pool_.push_back(std::move(session));
+  }
+}
+
+IoStats QueryEngine::io() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_;
+}
+
+QueryStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+QueryEngine::Lease::~Lease() {
+  if (session_ != nullptr && engine_ != nullptr) {
+    engine_->ReleaseSession(std::move(session_));
+  }
+}
+
+Status QueryEngine::Lease::Acquire(QueryEngine* engine) {
+  engine_ = engine;
+  ERA_ASSIGN_OR_RETURN(session_, engine->AcquireSession());
+  return Status::OK();
+}
+
+StatusOr<uint32_t> QueryEngine::FindChild(const CountedTree& tree,
+                                          uint32_t node, char symbol,
+                                          Session* session) {
+  const CountedNode& n = tree.node(node);
+  uint32_t lo = 0;
+  uint32_t hi = n.num_children;
+  // The builders sort sibling blocks by unsigned byte value (the radix
+  // prepare kernel extracts unsigned symbols), so the probe must compare
+  // unsigned too or symbols >= 0x80 would binary-search the wrong half.
+  const unsigned char want = static_cast<unsigned char>(symbol);
+  char first = '\0';
+  uint32_t got = 0;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    const CountedNode& c = tree.node(n.children_begin + mid);
+    ERA_RETURN_NOT_OK(
+        session->reader->RandomFetch(c.edge_start, 1, &first, &got));
+    if (got != 1) return Status::Corruption("edge label out of text");
+    ++session->stats.nodes_visited;
+    const unsigned char have = static_cast<unsigned char>(first);
+    if (have < want) {
+      lo = mid + 1;
+    } else if (have > want) {
+      hi = mid;
+    } else {
+      return n.children_begin + mid;
+    }
+  }
+  return kNilNode;
+}
+
 StatusOr<QueryEngine::SubTreeMatch> QueryEngine::MatchInSubTree(
-    const TreeBuffer& tree, const std::string& pattern) {
+    const CountedTree& tree, const std::string& pattern, Session* session) {
   SubTreeMatch result;
   uint32_t node = 0;
   std::size_t matched = 0;
   char buf[256];
   while (matched < pattern.size()) {
-    // Find the child whose edge starts with pattern[matched].
-    uint32_t child = tree.node(node).first_child;
-    bool advanced = false;
-    for (; child != kNilNode; child = tree.node(child).next_sibling) {
-      const TreeNode& c = tree.node(child);
+    ERA_ASSIGN_OR_RETURN(uint32_t child,
+                         FindChild(tree, node, pattern[matched], session));
+    if (child == kNilNode) return result;  // no child continues the pattern
+    const CountedNode& c = tree.node(child);
+    // FindChild verified the first label symbol; walk the rest of the label.
+    uint32_t j = 1;
+    ++matched;
+    while (j < c.edge_len && matched < pattern.size()) {
+      uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
+          sizeof(buf),
+          std::min<uint64_t>(c.edge_len - j, pattern.size() - matched)));
       uint32_t got = 0;
-      ERA_RETURN_NOT_OK(text_reader_->RandomFetch(c.edge_start, 1, buf, &got));
-      if (got != 1) return Status::Corruption("edge label out of text");
-      if (buf[0] != pattern[matched]) continue;
-      // Walk the label.
-      uint32_t j = 0;
-      while (j < c.edge_len && matched + j < pattern.size()) {
-        uint32_t chunk = static_cast<uint32_t>(std::min<uint64_t>(
-            sizeof(buf), std::min<uint64_t>(c.edge_len - j,
-                                            pattern.size() - matched - j)));
-        ERA_RETURN_NOT_OK(
-            text_reader_->RandomFetch(c.edge_start + j, chunk, buf, &got));
-        if (got != chunk) return Status::Corruption("edge label truncated");
-        for (uint32_t i = 0; i < chunk; ++i) {
-          if (buf[i] != pattern[matched + j + i]) {
-            return result;  // mismatch inside the edge: no occurrences
-          }
+      ERA_RETURN_NOT_OK(
+          session->reader->RandomFetch(c.edge_start + j, chunk, buf, &got));
+      if (got != chunk) return Status::Corruption("edge label truncated");
+      for (uint32_t i = 0; i < chunk; ++i) {
+        if (buf[i] != pattern[matched + i]) {
+          return result;  // mismatch inside the edge: no occurrences
         }
-        j += chunk;
       }
-      matched += j;
-      node = child;
-      advanced = true;
-      break;
+      j += chunk;
+      matched += chunk;
     }
-    if (!advanced) return result;  // no child continues the pattern
+    node = child;
   }
   result.matched = true;
   result.node = node;
   return result;
 }
 
-StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const std::string& pattern,
-                                                    std::size_t limit) {
-  std::vector<uint64_t> hits;
-  if (pattern.empty()) {
-    return Status::InvalidArgument("empty pattern");
-  }
+StatusOr<uint64_t> QueryEngine::CountWithSession(Session* session,
+                                                 const std::string& pattern) {
+  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  ++session->stats.queries;
 
+  PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
+  if (walk.pattern_exhausted) {
+    // Frequencies are precomputed in the trie: no sub-tree I/O needed.
+    ++session->stats.trie_resolved_counts;
+    return index_.trie().TotalFrequency(walk.node);
+  }
+  const PrefixTrie::Node& node = index_.trie().node(walk.node);
+  if (node.subtree_id < 0) return 0;  // fell off the trie: no occurrences
+  ERA_ASSIGN_OR_RETURN(
+      auto tree, index_.OpenSubTree(env_, static_cast<uint32_t>(node.subtree_id),
+                                    &session->io));
+  ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
+                       MatchInSubTree(*tree, pattern, session));
+  if (!match.matched) return 0;
+  // The counted layout answers from the match node alone — no enumeration.
+  return tree->node(match.node).LeafCount();
+}
+
+StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
+    Session* session, const std::string& pattern, std::size_t limit) {
+  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  ++session->stats.queries;
+
+  std::vector<uint64_t> hits;
   PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
   if (walk.pattern_exhausted) {
     // Every suffix below this trie node starts with the pattern.
     std::vector<PrefixTrie::Entry> entries;
     index_.trie().CollectEntries(walk.node, &entries);
     for (const auto& entry : entries) {
-      if (hits.size() >= limit) break;
       if (entry.subtree_id >= 0) {
         ERA_ASSIGN_OR_RETURN(
             auto tree,
             index_.OpenSubTree(env_, static_cast<uint32_t>(entry.subtree_id),
-                               &io_));
-        CollectLeaves(*tree, 0, &hits, limit);
+                               &session->io));
+        CollectLeaves(*tree, 0, &hits);
       } else {
         hits.push_back(entry.leaf_position);
       }
@@ -113,31 +230,71 @@ StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const std::string& pattern,
     }
     ERA_ASSIGN_OR_RETURN(
         auto tree, index_.OpenSubTree(
-                       env_, static_cast<uint32_t>(node.subtree_id), &io_));
+                       env_, static_cast<uint32_t>(node.subtree_id),
+                       &session->io));
     // Sub-tree labels carry the full path from the global root, so match
     // the whole pattern inside the sub-tree.
-    ERA_ASSIGN_OR_RETURN(SubTreeMatch match, MatchInSubTree(*tree, pattern));
-    if (match.matched) CollectLeaves(*tree, match.node, &hits, limit);
+    ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
+                         MatchInSubTree(*tree, pattern, session));
+    if (match.matched) CollectLeaves(*tree, match.node, &hits);
+  }
+  session->stats.leaves_enumerated += hits.size();
+  // Locate guarantees the smallest `limit` offsets, not the first `limit`
+  // in tree order; a small limit only pays a selection, not a full sort.
+  if (hits.size() > limit) {
+    std::nth_element(hits.begin(), hits.begin() + limit, hits.end());
+    hits.resize(limit);
   }
   std::sort(hits.begin(), hits.end());
   return hits;
 }
 
 StatusOr<uint64_t> QueryEngine::Count(const std::string& pattern) {
-  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  Lease lease;
+  ERA_RETURN_NOT_OK(lease.Acquire(this));
+  return CountWithSession(lease.get(), pattern);
+}
 
-  PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
-  if (walk.pattern_exhausted) {
-    // Frequencies are precomputed in the trie: no sub-tree I/O needed.
-    return index_.trie().TotalFrequency(walk.node);
-  }
-  ERA_ASSIGN_OR_RETURN(auto hits, Locate(pattern));
-  return static_cast<uint64_t>(hits.size());
+StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const std::string& pattern,
+                                                    std::size_t limit) {
+  Lease lease;
+  ERA_RETURN_NOT_OK(lease.Acquire(this));
+  return LocateWithSession(lease.get(), pattern, limit);
 }
 
 StatusOr<bool> QueryEngine::Contains(const std::string& pattern) {
-  ERA_ASSIGN_OR_RETURN(auto hits, Locate(pattern, 1));
-  return !hits.empty();
+  Lease lease;
+  ERA_RETURN_NOT_OK(lease.Acquire(this));
+  ERA_ASSIGN_OR_RETURN(uint64_t count, CountWithSession(lease.get(), pattern));
+  return count > 0;
+}
+
+StatusOr<std::vector<uint64_t>> QueryEngine::CountBatch(
+    const std::vector<std::string>& patterns) {
+  Lease lease;
+  ERA_RETURN_NOT_OK(lease.Acquire(this));
+  std::vector<uint64_t> counts;
+  counts.reserve(patterns.size());
+  for (const std::string& pattern : patterns) {
+    ERA_ASSIGN_OR_RETURN(uint64_t count,
+                         CountWithSession(lease.get(), pattern));
+    counts.push_back(count);
+  }
+  return counts;
+}
+
+StatusOr<std::vector<std::vector<uint64_t>>> QueryEngine::LocateBatch(
+    const std::vector<std::string>& patterns, std::size_t limit) {
+  Lease lease;
+  ERA_RETURN_NOT_OK(lease.Acquire(this));
+  std::vector<std::vector<uint64_t>> results;
+  results.reserve(patterns.size());
+  for (const std::string& pattern : patterns) {
+    ERA_ASSIGN_OR_RETURN(auto hits,
+                         LocateWithSession(lease.get(), pattern, limit));
+    results.push_back(std::move(hits));
+  }
+  return results;
 }
 
 }  // namespace era

@@ -2,13 +2,23 @@
 // symbol comparisons (the suffix tree's raison d'être, Section 1).
 //
 // A query walks the in-memory trie to the responsible sub-tree, loads it
-// (cached), and continues matching against edge labels resolved from the
-// text through a buffered reader.
+// through the index's sharded LRU cache, and continues matching against edge
+// labels resolved from the text through a buffered reader. Child lookup
+// inside a sub-tree is a binary search over the contiguous, first-symbol-
+// sorted child block of the counted layout; Count reads the match node's
+// subtree leaf count and never enumerates leaves.
+//
+// The engine is thread-safe: any number of threads may issue queries
+// concurrently. Each call leases a text-reader session from an internal pool
+// (readers are pooled, never shared), the sub-tree cache is sharded, and
+// per-session I/O and query counters are folded into the engine aggregates
+// when the lease is returned.
 
 #ifndef ERA_QUERY_QUERY_ENGINE_H_
 #define ERA_QUERY_QUERY_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,48 +28,145 @@
 
 namespace era {
 
+/// Tuning for a serving engine.
+struct QueryEngineOptions {
+  /// Sub-tree cache budget and sharding (see TreeCacheOptions).
+  TreeCacheOptions cache;
+  /// Buffer of each pooled text reader.
+  uint64_t reader_buffer_bytes = 64 << 10;
+  /// Readers kept for reuse; excess sessions are dropped on release.
+  std::size_t max_pooled_sessions = 64;
+};
+
+/// Aggregate query-path counters (device traffic is in IoStats; these count
+/// tree work).
+struct QueryStats {
+  /// Completed Count/Locate/Contains calls (batch items count individually).
+  uint64_t queries = 0;
+  /// Counts answered from the trie alone (no sub-tree open).
+  uint64_t trie_resolved_counts = 0;
+  /// Sub-tree nodes examined while matching (binary-search probes included).
+  uint64_t nodes_visited = 0;
+  /// Leaf records materialized (Locate only; Count never enumerates).
+  uint64_t leaves_enumerated = 0;
+
+  void Add(const QueryStats& other) {
+    queries += other.queries;
+    trie_resolved_counts += other.trie_resolved_counts;
+    nodes_visited += other.nodes_visited;
+    leaves_enumerated += other.leaves_enumerated;
+  }
+};
+
 /// Read-side facade over an index directory.
 class QueryEngine {
  public:
-  /// Loads the manifest from `index_dir` and opens the text file referenced
-  /// by it.
+  /// Loads the manifest from `index_dir`, configures the sub-tree cache and
+  /// opens the text file referenced by the manifest.
   static StatusOr<std::unique_ptr<QueryEngine>> Open(
-      Env* env, const std::string& index_dir);
+      Env* env, const std::string& index_dir,
+      const QueryEngineOptions& options = QueryEngineOptions{});
 
-  /// Number of occurrences of `pattern` in the text.
+  /// Number of occurrences of `pattern` in the text. O(|P|) — answered from
+  /// trie frequencies or the match node's subtree leaf count.
   StatusOr<uint64_t> Count(const std::string& pattern);
 
-  /// Starting offsets of every occurrence (ascending), up to `limit`.
+  /// Starting offsets of occurrences, ascending. With a `limit`, the
+  /// *smallest* `limit` offsets are returned (all occurrences are collected
+  /// and sorted before truncation).
   StatusOr<std::vector<uint64_t>> Locate(const std::string& pattern,
                                          std::size_t limit = SIZE_MAX);
 
-  /// True iff `pattern` occurs at least once.
+  /// True iff `pattern` occurs at least once (via Count; no enumeration).
   StatusOr<bool> Contains(const std::string& pattern);
 
+  /// Batched variants: one leased reader session serves the whole batch.
+  StatusOr<std::vector<uint64_t>> CountBatch(
+      const std::vector<std::string>& patterns);
+  StatusOr<std::vector<std::vector<uint64_t>>> LocateBatch(
+      const std::vector<std::string>& patterns, std::size_t limit = SIZE_MAX);
+
   const TreeIndex& index() const { return index_; }
-  /// Accumulated I/O of the query session (sub-tree loads + label reads).
-  const IoStats& io() const { return io_; }
+  /// Snapshot of the accumulated I/O of retired sessions (sub-tree loads,
+  /// cache traffic, label reads). Sessions still in flight report on
+  /// release.
+  IoStats io() const;
+  /// Snapshot of the aggregate query counters.
+  QueryStats stats() const;
+  /// Snapshot of the sub-tree cache (hits/misses/evictions/residency).
+  TreeIndex::CacheSnapshot cache() const { return index_.CacheStats(); }
 
  private:
-  QueryEngine(Env* env, TreeIndex index) : env_(env), index_(std::move(index)) {}
+  /// One pooled serving session: a private text reader plus the stat sinks
+  /// it is bound to.
+  struct Session {
+    std::unique_ptr<StringReader> reader;
+    IoStats io;
+    QueryStats stats;
+  };
+
+  /// RAII over AcquireSession/ReleaseSession: folds the session's counters
+  /// into the engine aggregates on every exit path.
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease();
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Status Acquire(QueryEngine* engine);
+    Session* get() { return session_.get(); }
+
+   private:
+    QueryEngine* engine_ = nullptr;
+    std::unique_ptr<Session> session_;
+  };
+
+  QueryEngine(Env* env, TreeIndex index, const QueryEngineOptions& options)
+      : env_(env), index_(std::move(index)), options_(options) {}
+
+  StatusOr<std::unique_ptr<Session>> AcquireSession();
+  void ReleaseSession(std::unique_ptr<Session> session);
+
+  StatusOr<uint64_t> CountWithSession(Session* session,
+                                      const std::string& pattern);
+  StatusOr<std::vector<uint64_t>> LocateWithSession(Session* session,
+                                                    const std::string& pattern,
+                                                    std::size_t limit);
 
   /// Match outcome inside one sub-tree.
   struct SubTreeMatch {
     bool matched = false;
     uint32_t node = 0;  // node whose subtree holds all occurrences
   };
-  StatusOr<SubTreeMatch> MatchInSubTree(const TreeBuffer& tree,
-                                        const std::string& pattern);
+  StatusOr<SubTreeMatch> MatchInSubTree(const CountedTree& tree,
+                                        const std::string& pattern,
+                                        Session* session);
+  /// Child of `node` whose edge starts with `symbol` (binary search over the
+  /// sorted child block; first symbols resolve through the session reader).
+  /// kNilNode if absent.
+  StatusOr<uint32_t> FindChild(const CountedTree& tree, uint32_t node,
+                               char symbol, Session* session);
 
   Env* env_;
   TreeIndex index_;
-  std::unique_ptr<StringReader> text_reader_;
+  QueryEngineOptions options_;
+
+  mutable std::mutex mu_;  // guards pool_ and the retired aggregates
+  std::vector<std::unique_ptr<Session>> pool_;
   IoStats io_;
+  QueryStats stats_;
 };
 
-/// Collects the leaf ids under `node` (test- and query-shared helper).
+/// Collects the leaf ids under `node` in DFS (lexicographic) order, up to
+/// `limit` (test- and query-shared helper for linked trees).
 void CollectLeaves(const TreeBuffer& tree, uint32_t node,
                    std::vector<uint64_t>* leaves, std::size_t limit);
+
+/// Counted-layout collection: appends ALL leaf ids under `node` by linearly
+/// scanning its contiguous descendant block (stops after the node's subtree
+/// leaf count; not lexicographic — callers sort).
+void CollectLeaves(const CountedTree& tree, uint32_t node,
+                   std::vector<uint64_t>* leaves);
 
 }  // namespace era
 

@@ -1,0 +1,104 @@
+#include "query/query_workload.h"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace era {
+
+std::vector<std::string> SamplePatternWorkload(
+    const std::string& text, const QueryWorkloadOptions& options) {
+  std::vector<std::string> patterns;
+  if (text.size() < 2) return patterns;
+  const std::size_t body = text.size() - 1;  // keep the terminal out of windows
+  std::mt19937_64 rng(options.seed);
+  const std::size_t max_len = std::min(options.max_len, body);
+  const std::size_t min_len = std::min(std::max<std::size_t>(1, options.min_len),
+                                       max_len);
+  std::uniform_int_distribution<std::size_t> len_dist(min_len, max_len);
+  patterns.reserve(options.num_patterns);
+  for (std::size_t i = 0; i < options.num_patterns; ++i) {
+    std::size_t len = len_dist(rng);
+    std::uniform_int_distribution<std::size_t> pos_dist(0, body - len);
+    std::string pattern = text.substr(pos_dist(rng), len);
+    if (options.absent_fraction > 0 &&
+        std::uniform_real_distribution<double>(0, 1)(rng) <
+            options.absent_fraction) {
+      // Flip the last symbol to another text symbol; most mutants miss.
+      char replacement = text[pos_dist(rng)];
+      if (replacement == pattern.back() && pattern.back() != 'x') {
+        replacement = 'x';
+      }
+      pattern.back() = replacement;
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+StatusOr<ReplayResult> ReplayWorkload(QueryEngine* engine,
+                                      const std::vector<std::string>& patterns,
+                                      unsigned num_threads,
+                                      const QueryWorkloadOptions& options) {
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (patterns.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  const std::size_t locate_every = std::max<std::size_t>(1, options.locate_every);
+
+  struct ThreadOutcome {
+    Status status = Status::OK();
+    uint64_t checksum = 0;
+    uint64_t counts = 0;
+    uint64_t locates = 0;
+  };
+  std::vector<ThreadOutcome> outcomes(num_threads);
+
+  auto worker = [&](unsigned t) {
+    ThreadOutcome& out = outcomes[t];
+    for (std::size_t i = t; i < patterns.size(); i += num_threads) {
+      if (i % locate_every == 0) {
+        auto hits = engine->Locate(patterns[i], options.locate_limit);
+        if (!hits.ok()) {
+          out.status = hits.status();
+          return;
+        }
+        for (uint64_t h : *hits) out.checksum += h + 1;
+        ++out.locates;
+      } else {
+        auto count = engine->Count(patterns[i]);
+        if (!count.ok()) {
+          out.status = count.status();
+          return;
+        }
+        out.checksum += *count;
+        ++out.counts;
+      }
+    }
+  };
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& thread : threads) thread.join();
+  const double wall = timer.Seconds();
+
+  ReplayResult result;
+  result.wall_seconds = wall;
+  for (const ThreadOutcome& out : outcomes) {
+    ERA_RETURN_NOT_OK(out.status);
+    result.occurrence_checksum += out.checksum;
+    result.count_queries += out.counts;
+    result.locate_queries += out.locates;
+  }
+  result.queries = result.count_queries + result.locate_queries;
+  result.qps = wall > 0 ? static_cast<double>(result.queries) / wall : 0;
+  return result;
+}
+
+}  // namespace era

@@ -1,0 +1,64 @@
+// Pattern-workload generation and multi-threaded replay.
+//
+// Shared by bench/query_qps.cc and `era_cli bench-query`: sample a
+// deterministic mixed workload from the indexed text, then replay it against
+// one QueryEngine from N threads (each thread takes a strided slice, so every
+// thread count issues the identical query set and the occurrence checksum
+// must match across runs).
+
+#ifndef ERA_QUERY_QUERY_WORKLOAD_H_
+#define ERA_QUERY_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query_engine.h"
+
+namespace era {
+
+/// Workload shape knobs (all deterministic in `seed`).
+struct QueryWorkloadOptions {
+  std::size_t num_patterns = 2000;
+  /// Pattern lengths are uniform in [min_len, max_len].
+  std::size_t min_len = 4;
+  std::size_t max_len = 24;
+  /// Fraction of patterns mutated in their last symbol so most of them miss
+  /// (exercises the mismatch paths).
+  double absent_fraction = 0.1;
+  /// Every `locate_every`-th query is a Locate; the rest are Counts.
+  std::size_t locate_every = 4;
+  /// Limit passed to the Locate queries.
+  std::size_t locate_limit = 100;
+  uint64_t seed = 42;
+};
+
+/// Samples substrings of `text` (the terminal byte is excluded from sampling
+/// windows) per `options`. Deterministic.
+std::vector<std::string> SamplePatternWorkload(
+    const std::string& text, const QueryWorkloadOptions& options);
+
+/// Outcome of one replay.
+struct ReplayResult {
+  uint64_t queries = 0;
+  uint64_t count_queries = 0;
+  uint64_t locate_queries = 0;
+  double wall_seconds = 0;
+  double qps = 0;
+  /// Sum of Count results plus located offsets modulo 2^64 — a checksum that
+  /// must be identical for every thread count over the same workload.
+  uint64_t occurrence_checksum = 0;
+};
+
+/// Replays `patterns` against `engine` from `num_threads` threads. Thread t
+/// issues patterns t, t+T, t+2T, ... so the union is exactly the workload.
+/// Returns the first error any thread hit, if any.
+StatusOr<ReplayResult> ReplayWorkload(QueryEngine* engine,
+                                      const std::vector<std::string>& patterns,
+                                      unsigned num_threads,
+                                      const QueryWorkloadOptions& options);
+
+}  // namespace era
+
+#endif  // ERA_QUERY_QUERY_WORKLOAD_H_

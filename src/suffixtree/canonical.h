@@ -28,9 +28,13 @@ struct SaLcp {
 /// lexicographically ordered (all builders guarantee this; the validator
 /// checks it).
 SaLcp TreeToSaLcp(const TreeBuffer& tree);
+SaLcp TreeToSaLcp(const CountedTree& tree);
 
-/// Leaf count of the tree (number of suffixes indexed).
+/// Leaf count of the tree (number of suffixes indexed). Both overloads scan
+/// the node array (the CountedTree one deliberately ignores the stored
+/// subtree counts so it can cross-check them).
 uint64_t CountLeaves(const TreeBuffer& tree);
+uint64_t CountLeaves(const CountedTree& tree);
 
 }  // namespace era
 

@@ -1,6 +1,7 @@
 #include "suffixtree/serializer.h"
 
 #include <cstring>
+#include <vector>
 
 #include "common/crc32.h"
 
@@ -9,7 +10,8 @@ namespace era {
 namespace {
 
 constexpr char kMagic[8] = {'E', 'R', 'A', 'S', 'U', 'B', 'T', 'R'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLinked = 1;
+constexpr uint32_t kVersionCounted = 2;
 
 struct Header {
   char magic[8];
@@ -21,36 +23,47 @@ struct Header {
 };
 static_assert(sizeof(Header) == 32, "keep the header fixed-size");
 
-}  // namespace
+/// v1 checksums with IEEE CRC-32 (what legacy files carry); v2 with the
+/// hardware-dispatched CRC-32C.
+uint32_t PayloadCrc(uint32_t version, const std::string& prefix,
+                    const void* nodes, std::size_t node_bytes) {
+  if (version == kVersionLinked) {
+    return Crc32(nodes, node_bytes, Crc32(prefix.data(), prefix.size()));
+  }
+  return Crc32c(nodes, node_bytes, Crc32c(prefix.data(), prefix.size()));
+}
 
-Status WriteSubTree(Env* env, const std::string& path,
-                    const std::string& prefix, const TreeBuffer& tree,
-                    IoStats* stats) {
+Status WritePayload(Env* env, const std::string& path,
+                    const std::string& prefix, uint32_t version,
+                    const void* nodes, uint64_t node_count,
+                    std::size_t node_bytes, IoStats* stats) {
   Header header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.version = kVersion;
+  header.version = version;
   header.prefix_len = static_cast<uint32_t>(prefix.size());
-  header.node_count = tree.size();
+  header.node_count = node_count;
   header.reserved = 0;
-  const char* node_bytes =
-      reinterpret_cast<const char*>(tree.nodes().data());
-  std::size_t node_size = tree.nodes().size() * sizeof(TreeNode);
-  header.crc = Crc32(node_bytes, node_size,
-                     Crc32(prefix.data(), prefix.size()));
+  header.crc = PayloadCrc(version, prefix, nodes, node_bytes);
 
   ERA_ASSIGN_OR_RETURN(auto file, env->NewWritable(path));
   ERA_RETURN_NOT_OK(
       file->Append(reinterpret_cast<const char*>(&header), sizeof(header)));
   ERA_RETURN_NOT_OK(file->Append(prefix.data(), prefix.size()));
-  ERA_RETURN_NOT_OK(file->Append(node_bytes, node_size));
+  ERA_RETURN_NOT_OK(
+      file->Append(static_cast<const char*>(nodes), node_bytes));
   ERA_RETURN_NOT_OK(file->Close());
   if (stats != nullptr) {
-    stats->bytes_written += sizeof(header) + prefix.size() + node_size;
+    stats->bytes_written += sizeof(header) + prefix.size() + node_bytes;
   }
   return Status::OK();
 }
 
-Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
+/// Reads header + prefix + node array (validating magic, version, CRC and a
+/// non-empty node count). Exactly one of `v1_nodes`/`v2_nodes` is filled,
+/// selected by the version on disk; `*version_out` reports which.
+Status ReadPayload(Env* env, const std::string& path,
+                   std::vector<TreeNode>* v1_nodes,
+                   std::vector<CountedNode>* v2_nodes, uint32_t* version_out,
                    std::string* prefix_out, IoStats* stats) {
   ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
   Header header;
@@ -61,7 +74,7 @@ Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
       std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad sub-tree magic in " + path);
   }
-  if (header.version != kVersion) {
+  if (header.version != kVersionLinked && header.version != kVersionCounted) {
     return Status::NotSupported("unsupported sub-tree version in " + path);
   }
 
@@ -72,28 +85,104 @@ Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
     return Status::Corruption("truncated prefix in " + path);
   }
 
+  static_assert(sizeof(TreeNode) == sizeof(CountedNode),
+                "both node formats are 32 bytes");
+  // Guard the allocation below against a corrupt count before trusting it.
+  if (header.node_count > file->Size() / sizeof(TreeNode)) {
+    return Status::Corruption("node count exceeds file size in " + path);
+  }
   std::size_t node_bytes = header.node_count * sizeof(TreeNode);
-  tree->mutable_nodes().resize(header.node_count);
-  ERA_RETURN_NOT_OK(file->Read(
-      sizeof(header) + prefix.size(), node_bytes,
-      reinterpret_cast<char*>(tree->mutable_nodes().data()), &got));
+  char* node_dst;
+  if (header.version == kVersionLinked) {
+    v1_nodes->resize(header.node_count);
+    node_dst = reinterpret_cast<char*>(v1_nodes->data());
+  } else {
+    v2_nodes->resize(header.node_count);
+    node_dst = reinterpret_cast<char*>(v2_nodes->data());
+  }
+  ERA_RETURN_NOT_OK(
+      file->Read(sizeof(header) + prefix.size(), node_bytes, node_dst, &got));
   if (got != node_bytes) {
     return Status::Corruption("truncated node array in " + path);
   }
 
-  uint32_t crc = Crc32(tree->mutable_nodes().data(), node_bytes,
-                       Crc32(prefix.data(), prefix.size()));
+  uint32_t crc = PayloadCrc(header.version, prefix, node_dst, node_bytes);
   if (crc != header.crc) {
     return Status::Corruption("CRC mismatch in " + path);
   }
   if (header.node_count == 0) {
     return Status::Corruption("empty sub-tree in " + path);
   }
+  *version_out = header.version;
   if (prefix_out != nullptr) *prefix_out = std::move(prefix);
   if (stats != nullptr) {
     stats->bytes_read += sizeof(header) + header.prefix_len + node_bytes;
     ++stats->seeks;  // sub-tree loads are random accesses
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCountedSubTree(Env* env, const std::string& path,
+                           const std::string& prefix, const CountedTree& tree,
+                           IoStats* stats) {
+  return WritePayload(env, path, prefix, kVersionCounted, tree.nodes().data(),
+                      tree.size(), tree.size() * sizeof(CountedNode), stats);
+}
+
+Status WriteSubTree(Env* env, const std::string& path,
+                    const std::string& prefix, const TreeBuffer& tree,
+                    IoStats* stats) {
+  ERA_ASSIGN_OR_RETURN(CountedTree counted, BuildCountedTree(tree));
+  return WriteCountedSubTree(env, path, prefix, counted, stats);
+}
+
+Status WriteSubTreeV1(Env* env, const std::string& path,
+                      const std::string& prefix, const TreeBuffer& tree,
+                      IoStats* stats) {
+  return WritePayload(env, path, prefix, kVersionLinked, tree.nodes().data(),
+                      tree.size(), tree.nodes().size() * sizeof(TreeNode),
+                      stats);
+}
+
+Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
+                   std::string* prefix_out, IoStats* stats) {
+  std::vector<TreeNode> v1_nodes;
+  std::vector<CountedNode> v2_nodes;
+  uint32_t version = 0;
+  ERA_RETURN_NOT_OK(ReadPayload(env, path, &v1_nodes, &v2_nodes, &version,
+                                prefix_out, stats));
+  if (version == kVersionLinked) {
+    tree->mutable_nodes() = std::move(v1_nodes);
+    return Status::OK();
+  }
+  CountedTree counted;
+  counted.mutable_nodes() = std::move(v2_nodes);
+  if (Status s = ValidateCountedLayout(counted); !s.ok()) {
+    return Status::Corruption(s.message() + " in " + path);
+  }
+  ERA_ASSIGN_OR_RETURN(*tree, LinkedFromCounted(counted));
+  return Status::OK();
+}
+
+Status ReadCountedSubTree(Env* env, const std::string& path, CountedTree* tree,
+                          std::string* prefix_out, IoStats* stats) {
+  std::vector<TreeNode> v1_nodes;
+  std::vector<CountedNode> v2_nodes;
+  uint32_t version = 0;
+  ERA_RETURN_NOT_OK(ReadPayload(env, path, &v1_nodes, &v2_nodes, &version,
+                                prefix_out, stats));
+  if (version == kVersionCounted) {
+    tree->mutable_nodes() = std::move(v2_nodes);
+    if (Status s = ValidateCountedLayout(*tree); !s.ok()) {
+      return Status::Corruption(s.message() + " in " + path);
+    }
+    return Status::OK();
+  }
+  TreeBuffer linked;
+  linked.mutable_nodes() = std::move(v1_nodes);
+  ERA_ASSIGN_OR_RETURN(*tree, BuildCountedTree(linked));
   return Status::OK();
 }
 

@@ -1,4 +1,15 @@
 // Sub-tree persistence: a fixed header + CRC-protected raw node array.
+//
+// Two on-disk versions share the header:
+//   * v1 — the legacy linked TreeNode array (IEEE CRC-32). Still readable;
+//     only WriteSubTreeV1 produces it (compat tooling and tests).
+//   * v2 — the counted serving layout (CountedNode array, CRC-32C): nodes in
+//     DFS order, contiguous child blocks sorted by first symbol, per-node
+//     subtree leaf counts. All builders emit v2 through WriteSubTree.
+//
+// Either version can be read into either in-memory form: ReadCountedSubTree
+// converts v1 files on load (the serving path), ReadSubTree converts v2
+// files back to the linked form (TRELLIS merge, legacy tests).
 
 #ifndef ERA_SUFFIXTREE_SERIALIZER_H_
 #define ERA_SUFFIXTREE_SERIALIZER_H_
@@ -12,15 +23,34 @@
 
 namespace era {
 
-/// Writes `tree` for S-prefix `prefix` to `path`. Billed to `stats` if given.
+/// Writes `tree` for S-prefix `prefix` to `path` in format v2 (converting to
+/// the counted layout). Billed to `stats` if given.
 Status WriteSubTree(Env* env, const std::string& path,
                     const std::string& prefix, const TreeBuffer& tree,
                     IoStats* stats);
 
-/// Reads a sub-tree back; verifies magic, version and CRC. `prefix_out` may
-/// be nullptr.
+/// Writes an already-counted tree to `path` in format v2.
+Status WriteCountedSubTree(Env* env, const std::string& path,
+                           const std::string& prefix, const CountedTree& tree,
+                           IoStats* stats);
+
+/// Writes `tree` in the legacy v1 format (linked TreeNode array). Kept for
+/// round-trip tests and for generating compat fixtures; builders use
+/// WriteSubTree.
+Status WriteSubTreeV1(Env* env, const std::string& path,
+                      const std::string& prefix, const TreeBuffer& tree,
+                      IoStats* stats);
+
+/// Reads a sub-tree (either version) into the linked form; verifies magic,
+/// version and CRC. `prefix_out` may be nullptr.
 Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
                    std::string* prefix_out, IoStats* stats);
+
+/// Reads a sub-tree (either version) into the counted serving form. v2 files
+/// are additionally structure-checked (child blocks in bounds and acyclic,
+/// leaf counts consistent) so query traversals never chase corrupt offsets.
+Status ReadCountedSubTree(Env* env, const std::string& path, CountedTree* tree,
+                          std::string* prefix_out, IoStats* stats);
 
 }  // namespace era
 

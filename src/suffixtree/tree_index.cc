@@ -101,33 +101,90 @@ StatusOr<TreeIndex> TreeIndex::Load(Env* env, const std::string& dir) {
   return index;
 }
 
-StatusOr<std::shared_ptr<const TreeBuffer>> TreeIndex::OpenSubTree(
+StatusOr<std::shared_ptr<const CountedTree>> TreeIndex::OpenSubTree(
     Env* env, uint32_t id, IoStats* stats) const {
   if (id >= subtrees_.size()) {
     return Status::InvalidArgument("sub-tree id out of range");
   }
+  Cache& cache = *cache_;
+  Shard& shard = cache.shards[id % cache.shards.size()];
   {
-    std::lock_guard<std::mutex> lock(cache_->mutex);
-    auto it = cache_->trees.find(id);
-    if (it != cache_->trees.end()) return it->second;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(id);
+    if (it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+      ++shard.hits;
+      if (stats != nullptr) ++stats->cache_hits;
+      return it->second.tree;
+    }
   }
-  auto tree = std::make_shared<TreeBuffer>();
+
+  // Load outside the shard lock so a slow device never serializes the other
+  // ids of this shard (concurrent misses on the same id may duplicate the
+  // read; the insert below keeps exactly one copy).
+  auto tree = std::make_shared<CountedTree>();
   std::string prefix;
-  ERA_RETURN_NOT_OK(ReadSubTree(env, dir_ + "/" + subtrees_[id].filename,
-                                tree.get(), &prefix, stats));
+  ERA_RETURN_NOT_OK(ReadCountedSubTree(env,
+                                       dir_ + "/" + subtrees_[id].filename,
+                                       tree.get(), &prefix, stats));
   if (prefix != subtrees_[id].prefix) {
     return Status::Corruption("sub-tree prefix mismatch for id " +
                               std::to_string(id));
   }
-  std::shared_ptr<const TreeBuffer> shared = std::move(tree);
-  std::lock_guard<std::mutex> lock(cache_->mutex);
-  cache_->trees.emplace(id, shared);
+  std::shared_ptr<const CountedTree> shared = std::move(tree);
+  const uint64_t bytes = shared->MemoryBytes();
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.misses;
+  if (stats != nullptr) ++stats->cache_misses;
+  auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) {
+    // Another thread inserted while we were loading; keep its copy.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+    return it->second.tree;
+  }
+  shard.lru.push_front(id);
+  shard.entries.emplace(id, Shard::Entry{shared, shard.lru.begin(), bytes});
+  shard.resident_bytes += bytes;
+  while (shard.resident_bytes > cache.per_shard_budget &&
+         shard.entries.size() > 1) {
+    uint32_t victim = shard.lru.back();
+    auto vit = shard.entries.find(victim);
+    shard.resident_bytes -= vit->second.bytes;
+    shard.evicted_bytes += vit->second.bytes;
+    if (stats != nullptr) stats->cache_evicted_bytes += vit->second.bytes;
+    ++shard.evictions;
+    shard.lru.pop_back();
+    shard.entries.erase(vit);
+  }
   return shared;
 }
 
+void TreeIndex::ConfigureCache(const TreeCacheOptions& options) const {
+  cache_ = std::make_shared<Cache>(options);
+}
+
 void TreeIndex::EvictCache() const {
-  std::lock_guard<std::mutex> lock(cache_->mutex);
-  cache_->trees.clear();
+  for (Shard& shard : cache_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.resident_bytes = 0;
+  }
+}
+
+TreeIndex::CacheSnapshot TreeIndex::CacheStats() const {
+  CacheSnapshot snap;
+  for (Shard& shard : cache_->shards) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    snap.hits += shard.hits;
+    snap.misses += shard.misses;
+    snap.evictions += shard.evictions;
+    snap.evicted_bytes += shard.evicted_bytes;
+    snap.resident_bytes += shard.resident_bytes;
+    snap.resident_trees += shard.entries.size();
+  }
+  return snap;
 }
 
 uint64_t TreeIndex::TotalSuffixes() const { return trie_.TotalFrequency(0); }

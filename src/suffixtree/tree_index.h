@@ -3,11 +3,17 @@
 // Every construction algorithm in this repository (ERA, WaveFront, B2ST,
 // TRELLIS) produces a TreeIndex, so validation, canonicalization and the
 // query engine are shared.
+//
+// The reading side serves sub-trees in the counted v2 layout through a
+// sharded, byte-budgeted LRU cache: lookups lock only their shard, loads run
+// outside any lock, and entries are handed out as shared_ptr so an eviction
+// never invalidates a tree an in-flight query is still walking.
 
 #ifndef ERA_SUFFIXTREE_TREE_INDEX_H_
 #define ERA_SUFFIXTREE_TREE_INDEX_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -30,6 +36,16 @@ struct SubTreeEntry {
   std::string filename;    // relative to the index directory
 };
 
+/// Tuning knobs for the sub-tree cache.
+struct TreeCacheOptions {
+  /// Total bytes of resident sub-trees across all shards. A shard evicts
+  /// from its LRU end once it exceeds its share (budget / shards), but never
+  /// below one resident entry, so a single oversized sub-tree still caches.
+  uint64_t budget_bytes = 64ull << 20;
+  /// Number of independently locked shards (sub-tree id modulo shards).
+  uint32_t shards = 8;
+};
+
 /// Disk layout:
 ///   <dir>/MANIFEST   key:value text lines + serialized trie blob
 ///   <dir>/st_<id>    sub-tree files (serializer.h format)
@@ -50,13 +66,32 @@ class TreeIndex {
   // ---- reading side ----
   static StatusOr<TreeIndex> Load(Env* env, const std::string& dir);
 
-  /// Reads (and caches) sub-tree `id`. Thread-safe.
-  StatusOr<std::shared_ptr<const TreeBuffer>> OpenSubTree(Env* env,
-                                                          uint32_t id,
-                                                          IoStats* stats) const;
+  /// Reads (and caches) sub-tree `id` in the counted serving layout.
+  /// Thread-safe; cache hits/misses and eviction volume are billed to
+  /// `stats` when given. Concurrent misses on the same id may load the file
+  /// more than once; exactly one copy is retained.
+  StatusOr<std::shared_ptr<const CountedTree>> OpenSubTree(
+      Env* env, uint32_t id, IoStats* stats) const;
 
-  /// Drops cached sub-trees (memory control for sweeps).
+  /// Replaces the cache with a fresh one using `options`. Call before
+  /// serving traffic; NOT safe concurrently with OpenSubTree.
+  void ConfigureCache(const TreeCacheOptions& options) const;
+
+  /// Drops every cached sub-tree (memory control for sweeps). Thread-safe;
+  /// in-flight queries keep their pinned trees alive. Not counted as LRU
+  /// evictions.
   void EvictCache() const;
+
+  /// Point-in-time cache totals across shards.
+  struct CacheSnapshot {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t evicted_bytes = 0;
+    uint64_t resident_bytes = 0;
+    uint64_t resident_trees = 0;
+  };
+  CacheSnapshot CacheStats() const;
 
   const TextInfo& text() const { return text_; }
   const PrefixTrie& trie() const { return trie_; }
@@ -68,18 +103,41 @@ class TreeIndex {
   uint64_t TotalSuffixes() const;
 
  private:
-  // Cache state lives behind a pointer so TreeIndex stays movable despite
-  // the mutex.
-  struct Cache {
+  struct Shard {
     std::mutex mutex;
-    std::unordered_map<uint32_t, std::shared_ptr<const TreeBuffer>> trees;
+    /// Most-recently-used at the front.
+    std::list<uint32_t> lru;
+    struct Entry {
+      std::shared_ptr<const CountedTree> tree;
+      std::list<uint32_t>::iterator pos;
+      uint64_t bytes = 0;
+    };
+    std::unordered_map<uint32_t, Entry> entries;
+    uint64_t resident_bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t evicted_bytes = 0;
+  };
+  // Cache state lives behind a pointer so TreeIndex stays movable despite
+  // the shard mutexes.
+  struct Cache {
+    explicit Cache(const TreeCacheOptions& opts)
+        : options(opts),
+          shards(opts.shards == 0 ? 1 : opts.shards),
+          per_shard_budget(options.budget_bytes /
+                           (opts.shards == 0 ? 1 : opts.shards)) {}
+    TreeCacheOptions options;
+    std::vector<Shard> shards;
+    uint64_t per_shard_budget;
   };
 
   TextInfo text_;
   PrefixTrie trie_;
   std::vector<SubTreeEntry> subtrees_;
   std::string dir_;
-  std::shared_ptr<Cache> cache_ = std::make_shared<Cache>();
+  mutable std::shared_ptr<Cache> cache_ =
+      std::make_shared<Cache>(TreeCacheOptions{});
 };
 
 }  // namespace era

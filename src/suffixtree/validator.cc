@@ -148,6 +148,17 @@ Status ValidateSubTree(const TreeBuffer& tree, const std::string& text,
   return Status::OK();
 }
 
+Status ValidateSubTree(const CountedTree& tree, const std::string& text,
+                       const std::string& prefix) {
+  // Counted-only invariants first (stored counts, acyclic child blocks,
+  // canonical DFS descendant contiguity — the Locate scan's contract),
+  // shared with the serializer's load-time check; then the full structural/
+  // semantic suite over the identical node mapping in linked form.
+  ERA_RETURN_NOT_OK(ValidateCountedLayout(tree));
+  ERA_ASSIGN_OR_RETURN(TreeBuffer linked, LinkedFromCounted(tree));
+  return ValidateSubTree(linked, text, prefix);
+}
+
 Status ValidateIndex(Env* env, const TreeIndex& index,
                      const std::string& text) {
   if (index.text().length != text.size()) {

@@ -27,6 +27,13 @@ namespace era {
 Status ValidateSubTree(const TreeBuffer& tree, const std::string& text,
                        const std::string& prefix);
 
+/// Counted-layout overload: converts to the linked form and applies every
+/// check above, then verifies the counted-only invariants — stored subtree
+/// leaf counts, child blocks strictly after their parent, and the DFS block
+/// layout (the linear descendant scan yields exactly the DFS leaf set).
+Status ValidateSubTree(const CountedTree& tree, const std::string& text,
+                       const std::string& prefix);
+
 /// Validates a complete index: every sub-tree (loaded from `env`), plus
 /// coverage — each suffix of `text` appears in exactly one sub-tree or trie
 /// leaf, and the global leaf order is lexicographic.

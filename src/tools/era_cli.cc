@@ -6,6 +6,8 @@
 //   era_cli stats  <index-dir>
 //   era_cli verify <index-dir>            (loads text + validates everything)
 //   era_cli generate <out-file> <dna|protein|english> <bytes> [seed]
+//   era_cli bench-query <index-dir> [--threads N] [--patterns N]
+//                  [--cache-mb N] [--seed S]   (replays a sampled workload)
 //
 // The text file must be raw symbols; a trailing terminal byte ('~') is
 // appended if missing.
@@ -20,6 +22,7 @@
 #include "era/parallel_builder.h"
 #include "io/env.h"
 #include "query/query_engine.h"
+#include "query/query_workload.h"
 #include "suffixtree/validator.h"
 #include "text/corpus.h"
 #include "text/text_generator.h"
@@ -38,7 +41,9 @@ int Usage() {
       "  era_cli query  <index-dir> <pattern> [--limit N]\n"
       "  era_cli stats  <index-dir>\n"
       "  era_cli verify <index-dir>\n"
-      "  era_cli generate <out-file> <dna|protein|english> <bytes> [seed]\n");
+      "  era_cli generate <out-file> <dna|protein|english> <bytes> [seed]\n"
+      "  era_cli bench-query <index-dir> [--threads N] [--patterns N]\n"
+      "                 [--cache-mb N] [--seed S]\n");
   return 2;
 }
 
@@ -192,6 +197,69 @@ int CmdVerify(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdBenchQuery(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Env* env = GetDefaultEnv();
+
+  unsigned threads = static_cast<unsigned>(
+      std::strtoul(FlagValue(args, "--threads", "4").c_str(), nullptr, 10));
+  QueryWorkloadOptions workload_options;
+  workload_options.num_patterns = static_cast<std::size_t>(std::strtoull(
+      FlagValue(args, "--patterns", "2000").c_str(), nullptr, 10));
+  workload_options.seed = std::strtoull(
+      FlagValue(args, "--seed", "42").c_str(), nullptr, 10);
+
+  QueryEngineOptions engine_options;
+  engine_options.cache.budget_bytes =
+      std::strtoull(FlagValue(args, "--cache-mb", "64").c_str(), nullptr, 10)
+      << 20;
+
+  auto engine = QueryEngine::Open(env, args[0], engine_options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  std::string text;
+  if (Status s = env->ReadFileToString((*engine)->index().text().path, &text);
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::vector<std::string> patterns =
+      SamplePatternWorkload(text, workload_options);
+  text.clear();
+
+  auto replay = ReplayWorkload(engine->get(), patterns, threads,
+                               workload_options);
+  if (!replay.ok()) return Fail(replay.status());
+
+  TreeIndex::CacheSnapshot cache = (*engine)->cache();
+  const uint64_t lookups = cache.hits + cache.misses;
+  QueryStats stats = (*engine)->stats();
+  std::printf(
+      "threads=%u queries=%llu (count=%llu locate=%llu) wall=%.3fs "
+      "qps=%.0f\n",
+      threads, static_cast<unsigned long long>(replay->queries),
+      static_cast<unsigned long long>(replay->count_queries),
+      static_cast<unsigned long long>(replay->locate_queries),
+      replay->wall_seconds, replay->qps);
+  std::printf(
+      "cache: hit_rate=%.3f hits=%llu misses=%llu evictions=%llu "
+      "evicted=%lluB resident=%lluB/%llu trees\n",
+      lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups,
+      static_cast<unsigned long long>(cache.hits),
+      static_cast<unsigned long long>(cache.misses),
+      static_cast<unsigned long long>(cache.evictions),
+      static_cast<unsigned long long>(cache.evicted_bytes),
+      static_cast<unsigned long long>(cache.resident_bytes),
+      static_cast<unsigned long long>(cache.resident_trees));
+  std::printf(
+      "work: nodes_visited=%llu leaves_enumerated=%llu "
+      "trie_resolved_counts=%llu checksum=%llu\n",
+      static_cast<unsigned long long>(stats.nodes_visited),
+      static_cast<unsigned long long>(stats.leaves_enumerated),
+      static_cast<unsigned long long>(stats.trie_resolved_counts),
+      static_cast<unsigned long long>(replay->occurrence_checksum));
+  return 0;
+}
+
 int CmdGenerate(const std::vector<std::string>& args) {
   if (args.size() < 3) return Usage();
   uint64_t bytes = std::strtoull(args[2].c_str(), nullptr, 10);
@@ -228,5 +296,6 @@ int main(int argc, char** argv) {
   if (command == "stats") return era::CmdStats(args);
   if (command == "verify") return era::CmdVerify(args);
   if (command == "generate") return era::CmdGenerate(args);
+  if (command == "bench-query") return era::CmdBenchQuery(args);
   return era::Usage();
 }

@@ -1,0 +1,204 @@
+// Format v1/v2 compatibility: every builder's output round-trips through the
+// v2 serving layout, and a v1-file mirror of the same index answers queries
+// byte-identically.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "b2st/b2st.h"
+#include "era/era_builder.h"
+#include "io/mem_env.h"
+#include "query/query_engine.h"
+#include "suffixtree/canonical.h"
+#include "suffixtree/serializer.h"
+#include "suffixtree/validator.h"
+#include "tests/test_util.h"
+#include "trellis/trellis.h"
+#include "ukkonen/ukkonen.h"
+#include "wavefront/wavefront.h"
+
+namespace era {
+namespace {
+
+BuildOptions SmallBuildOptions(Env* env, const std::string& dir) {
+  BuildOptions options;
+  options.env = env;
+  options.work_dir = dir;
+  options.memory_budget = 256 << 10;  // force several sub-trees
+  options.input_buffer_bytes = 4096;
+  return options;
+}
+
+/// Version field of a serialized sub-tree file (header bytes 8..11).
+uint32_t FileVersion(MemEnv* env, const std::string& path) {
+  std::string raw;
+  EXPECT_TRUE(env->ReadFileToString(path, &raw).ok());
+  uint32_t version = 0;
+  EXPECT_GE(raw.size(), 12u);
+  std::memcpy(&version, raw.data() + 8, sizeof(version));
+  return version;
+}
+
+/// Mirrors `index` into `dst_dir` with every sub-tree rewritten as v1.
+void MirrorIndexAsV1(MemEnv* env, const TreeIndex& index,
+                     const std::string& dst_dir) {
+  ASSERT_TRUE(env->CreateDir(dst_dir).ok());
+  std::string manifest;
+  ASSERT_TRUE(
+      env->ReadFileToString(index.dir() + "/MANIFEST", &manifest).ok());
+  ASSERT_TRUE(env->WriteFile(dst_dir + "/MANIFEST", manifest).ok());
+  for (const SubTreeEntry& entry : index.subtrees()) {
+    TreeBuffer tree;
+    std::string prefix;
+    ASSERT_TRUE(ReadSubTree(env, index.dir() + "/" + entry.filename, &tree,
+                            &prefix, nullptr)
+                    .ok());
+    ASSERT_TRUE(WriteSubTreeV1(env, dst_dir + "/" + entry.filename, prefix,
+                               tree, nullptr)
+                    .ok());
+    EXPECT_EQ(FileVersion(env, dst_dir + "/" + entry.filename), 1u);
+  }
+}
+
+/// Queries both engines with the same pattern set and requires identical
+/// answers (the "byte-identical query results" criterion).
+void ExpectIdenticalAnswers(QueryEngine* v2, QueryEngine* v1,
+                            const std::string& text) {
+  std::vector<std::string> patterns = {"A", "AC", "TTT"};
+  for (std::size_t offset : {0u, 17u, 901u, 2503u}) {
+    for (std::size_t len : {3u, 9u, 30u}) {
+      if (offset + len < text.size()) {
+        patterns.push_back(text.substr(offset, len));
+      }
+    }
+  }
+  patterns.push_back(text.substr(text.size() - 12));  // suffix incl. terminal
+  patterns.push_back("ACGTACGTACGTACGTACGTACGT");     // likely absent
+  for (const std::string& pattern : patterns) {
+    auto count2 = v2->Count(pattern);
+    auto count1 = v1->Count(pattern);
+    ASSERT_TRUE(count2.ok()) << count2.status().ToString();
+    ASSERT_TRUE(count1.ok()) << count1.status().ToString();
+    EXPECT_EQ(*count2, *count1) << "pattern: " << pattern;
+    auto hits2 = v2->Locate(pattern);
+    auto hits1 = v1->Locate(pattern);
+    ASSERT_TRUE(hits2.ok());
+    ASSERT_TRUE(hits1.ok());
+    EXPECT_EQ(*hits2, *hits1) << "pattern: " << pattern;
+    EXPECT_EQ(hits2->size(), *count2) << "pattern: " << pattern;
+  }
+}
+
+class BuilderFormatTest
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+StatusOr<BuildResult> BuildWith(int which, const BuildOptions& options,
+                                const TextInfo& info) {
+  switch (which) {
+    case 0: {
+      EraBuilder builder(options);
+      return builder.Build(info);
+    }
+    case 1: {
+      WaveFrontBuilder builder(options);
+      return builder.Build(info);
+    }
+    default: {
+      TrellisBuilder builder(options);
+      return builder.Build(info);
+    }
+  }
+}
+
+TEST_P(BuilderFormatTest, EmitsV2AndMatchesV1Mirror) {
+  MemEnv env;
+  std::string text = testing::RepetitiveText(Alphabet::Dna(), 4000, 99);
+  auto info = MaterializeText(&env, "/text", Alphabet::Dna(), text);
+  ASSERT_TRUE(info.ok());
+
+  auto result = BuildWith(GetParam().second,
+                          SmallBuildOptions(&env, "/idx"), *info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const TreeIndex& index = result->index;
+  ASSERT_GT(index.subtrees().size(), 1u);
+
+  // Every emitted file is format v2 and validates in the counted layout.
+  for (const SubTreeEntry& entry : index.subtrees()) {
+    EXPECT_EQ(FileVersion(&env, index.dir() + "/" + entry.filename), 2u);
+    CountedTree counted;
+    std::string prefix;
+    ASSERT_TRUE(ReadCountedSubTree(&env, index.dir() + "/" + entry.filename,
+                                   &counted, &prefix, nullptr)
+                    .ok());
+    EXPECT_EQ(prefix, entry.prefix);
+    EXPECT_EQ(counted.LeafCount(), entry.frequency);
+    EXPECT_TRUE(ValidateSubTree(counted, text, entry.prefix).ok());
+  }
+
+  MirrorIndexAsV1(&env, index, "/idx_v1");
+  auto v2 = QueryEngine::Open(&env, "/idx");
+  auto v1 = QueryEngine::Open(&env, "/idx_v1");
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  ExpectIdenticalAnswers(v2->get(), v1->get(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuilders, BuilderFormatTest,
+                         ::testing::Values(std::make_pair("era", 0),
+                                           std::make_pair("wavefront", 1),
+                                           std::make_pair("trellis", 2)),
+                         [](const auto& info) { return info.param.first; });
+
+TEST(B2stFormatTest, ForestFilesRoundTripBothForms) {
+  // B2ST emits a forest (no manifest); its files must still round-trip
+  // through both readers with identical canonical form.
+  MemEnv env;
+  std::string text = testing::RandomText(Alphabet::Dna(), 3000, 21);
+  auto info = MaterializeText(&env, "/text", Alphabet::Dna(), text);
+  ASSERT_TRUE(info.ok());
+  B2stBuilder builder(SmallBuildOptions(&env, "/b2st"));
+  auto result = builder.Build(*info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->subtree_files.empty());
+  for (const std::string& file : result->subtree_files) {
+    const std::string path = result->work_dir + "/" + file;
+    TreeBuffer linked;
+    CountedTree counted;
+    ASSERT_TRUE(ReadSubTree(&env, path, &linked, nullptr, nullptr).ok());
+    ASSERT_TRUE(
+        ReadCountedSubTree(&env, path, &counted, nullptr, nullptr).ok());
+    EXPECT_EQ(TreeToSaLcp(linked), TreeToSaLcp(counted));
+    EXPECT_EQ(CountLeaves(counted), counted.LeafCount());
+  }
+}
+
+TEST(FormatCompatTest, V1FilesStillReadable) {
+  // The full v1 write -> read matrix: a legacy file loads into the linked
+  // form verbatim and into the serving form via conversion, with the same
+  // canonical structure and a correct leaf count.
+  std::string text = testing::RandomText(Alphabet::Dna(), 500, 3);
+  auto tree = BuildUkkonenTree(text);
+  ASSERT_TRUE(tree.ok());
+  MemEnv env;
+  ASSERT_TRUE(WriteSubTreeV1(&env, "/v1.bin", "AC", *tree, nullptr).ok());
+  EXPECT_EQ(FileVersion(&env, "/v1.bin"), 1u);
+
+  TreeBuffer linked;
+  std::string prefix;
+  ASSERT_TRUE(ReadSubTree(&env, "/v1.bin", &linked, &prefix, nullptr).ok());
+  EXPECT_EQ(prefix, "AC");
+  EXPECT_EQ(TreeToSaLcp(linked), TreeToSaLcp(*tree));
+
+  CountedTree counted;
+  ASSERT_TRUE(
+      ReadCountedSubTree(&env, "/v1.bin", &counted, &prefix, nullptr).ok());
+  EXPECT_EQ(counted.size(), tree->size());
+  EXPECT_EQ(TreeToSaLcp(counted), TreeToSaLcp(*tree));
+  EXPECT_EQ(counted.LeafCount(), CountLeaves(*tree));
+}
+
+}  // namespace
+}  // namespace era
