@@ -72,8 +72,10 @@ int main() {
   std::printf("\npairwise longest common substrings:\n");
   for (std::size_t a = 0; a < docs.size(); ++a) {
     for (std::size_t b = a + 1; b < docs.size(); ++b) {
-      auto lcs = LongestCommonSubstring(env, result->index, combined->text,
-                                        combined->doc_starts, a, b, '#');
+      auto lcs = LongestCommonSubstring(env, result->index,
+                                        combined->documents,
+                                        static_cast<uint32_t>(a),
+                                        static_cast<uint32_t>(b));
       if (!lcs.ok()) {
         std::fprintf(stderr, "%s\n", lcs.status().ToString().c_str());
         return 1;

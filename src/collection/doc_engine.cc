@@ -1,0 +1,174 @@
+#include "collection/doc_engine.h"
+
+#include <algorithm>
+
+#include "alphabet/alphabet.h"
+
+namespace era {
+
+StatusOr<std::unique_ptr<DocEngine>> DocEngine::Open(
+    Env* env, const std::string& index_dir, const QueryEngineOptions& options) {
+  ERA_ASSIGN_OR_RETURN(std::unique_ptr<QueryEngine> engine,
+                       QueryEngine::Open(env, index_dir, options));
+  ERA_ASSIGN_OR_RETURN(
+      DocumentMap documents,
+      DocumentMap::Load(env, index_dir + "/" + kDocMapFilename));
+  return std::unique_ptr<DocEngine>(
+      new DocEngine(std::move(engine), std::move(documents)));
+}
+
+Status DocEngine::ValidatePattern(const std::string& pattern) const {
+  if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  if (pattern.find(documents_.separator()) != std::string::npos) {
+    return Status::InvalidArgument(
+        "pattern contains the reserved document separator");
+  }
+  if (pattern.find(kTerminal) != std::string::npos) {
+    return Status::InvalidArgument("pattern contains the terminal byte");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<DocHit>> DocEngine::HistogramWithStats(
+    const std::string& pattern, DocQueryStats* stats) {
+  ERA_RETURN_NOT_OK(ValidatePattern(pattern));
+  ++stats->queries;
+  // All occurrences, from the match node's contiguous descendant leaf-slot
+  // range (ascending after Locate's sort).
+  ERA_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets, engine_->Locate(pattern));
+
+  // Offsets ascend and document spans ascend, so grouping by document is a
+  // single forward pass; Resolve's binary search only re-runs when an offset
+  // leaves the current span.
+  std::vector<DocHit> histogram;
+  DocLocation loc;
+  uint64_t span_end = 0;
+  bool have_doc = false;
+  for (uint64_t offset : offsets) {
+    ++stats->offsets_resolved;
+    if (have_doc && offset < span_end &&
+        offset >= documents_.document(loc.doc_id).start) {
+      ++histogram.back().occurrences;
+      continue;
+    }
+    if (!documents_.Resolve(offset, &loc)) {
+      // A pattern over the document alphabet can never start on a separator
+      // or terminal byte; counted defensively rather than erroring so a
+      // corrupt layout surfaces in stats instead of failing reads.
+      ++stats->offsets_outside_documents;
+      have_doc = false;
+      continue;
+    }
+    const DocumentSpan& doc = documents_.document(loc.doc_id);
+    span_end = doc.start + doc.length;
+    have_doc = true;
+    histogram.push_back({loc.doc_id, 1});
+  }
+  stats->docs_matched += histogram.size();
+  return histogram;
+}
+
+void DocEngine::FoldStats(const DocQueryStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.Add(stats);
+}
+
+DocQueryStats DocEngine::doc_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+StatusOr<std::vector<DocHit>> DocEngine::DocumentHistogram(
+    const std::string& pattern) {
+  DocQueryStats stats;
+  auto histogram = HistogramWithStats(pattern, &stats);
+  FoldStats(stats);
+  return histogram;
+}
+
+StatusOr<uint64_t> DocEngine::CountDocs(const std::string& pattern) {
+  ERA_ASSIGN_OR_RETURN(std::vector<DocHit> histogram,
+                       DocumentHistogram(pattern));
+  return static_cast<uint64_t>(histogram.size());
+}
+
+std::vector<DocHit> TopKFromHistogram(std::vector<DocHit> histogram,
+                                      std::size_t k) {
+  std::sort(histogram.begin(), histogram.end(),
+            [](const DocHit& a, const DocHit& b) {
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              return a.doc_id < b.doc_id;
+            });
+  if (histogram.size() > k) histogram.resize(k);
+  return histogram;
+}
+
+StatusOr<std::vector<DocHit>> DocEngine::TopKDocuments(
+    const std::string& pattern, std::size_t k) {
+  ERA_ASSIGN_OR_RETURN(std::vector<DocHit> histogram,
+                       DocumentHistogram(pattern));
+  return TopKFromHistogram(std::move(histogram), k);
+}
+
+StatusOr<std::vector<uint64_t>> DocEngine::LocateInDoc(
+    const std::string& pattern, uint32_t doc_id) {
+  if (doc_id >= documents_.num_documents()) {
+    return Status::InvalidArgument("document id out of range");
+  }
+  ERA_RETURN_NOT_OK(ValidatePattern(pattern));
+  DocQueryStats stats;
+  ++stats.queries;
+  ERA_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets, engine_->Locate(pattern));
+  const DocumentSpan& doc = documents_.document(doc_id);
+  // Offsets are ascending: the document's occurrences are one contiguous
+  // run, found by binary search.
+  auto begin =
+      std::lower_bound(offsets.begin(), offsets.end(), doc.start);
+  auto end =
+      std::lower_bound(begin, offsets.end(), doc.start + doc.length);
+  std::vector<uint64_t> local;
+  local.reserve(static_cast<std::size_t>(end - begin));
+  for (auto it = begin; it != end; ++it) local.push_back(*it - doc.start);
+  stats.offsets_resolved += local.size();
+  if (!local.empty()) ++stats.docs_matched;
+  FoldStats(stats);
+  return local;
+}
+
+StatusOr<std::vector<uint64_t>> DocEngine::CountDocsBatch(
+    const std::vector<std::string>& patterns) {
+  DocQueryStats stats;
+  std::vector<uint64_t> counts;
+  counts.reserve(patterns.size());
+  for (const std::string& pattern : patterns) {
+    auto histogram = HistogramWithStats(pattern, &stats);
+    if (!histogram.ok()) {
+      FoldStats(stats);
+      return histogram.status();
+    }
+    counts.push_back(histogram->size());
+  }
+  FoldStats(stats);
+  return counts;
+}
+
+StatusOr<std::vector<std::vector<DocHit>>> DocEngine::TopKDocumentsBatch(
+    const std::vector<std::string>& patterns, std::size_t k) {
+  DocQueryStats stats;
+  std::vector<std::vector<DocHit>> results;
+  results.reserve(patterns.size());
+  for (const std::string& pattern : patterns) {
+    auto histogram = HistogramWithStats(pattern, &stats);
+    if (!histogram.ok()) {
+      FoldStats(stats);
+      return histogram.status();
+    }
+    results.push_back(TopKFromHistogram(std::move(*histogram), k));
+  }
+  FoldStats(stats);
+  return results;
+}
+
+}  // namespace era

@@ -1,0 +1,131 @@
+// Document-aware serving over a collection index.
+//
+// DocEngine layers the DOCMAP catalog on top of the thread-safe QueryEngine:
+// a doc query matches the pattern once (O(|P|) walk to the match node),
+// enumerates the node's contiguous descendant leaf-slot range, and folds the
+// resulting global offsets through the DocumentMap.  Because Locate returns
+// offsets in ascending order and document spans are ascending too, the
+// per-document histogram falls out of a single merge-style pass — no hash
+// table, no second sort.
+//
+// Patterns containing the reserved separator or terminal byte are rejected
+// with InvalidArgument: documents cannot contain them, so such a "match"
+// could only be an artifact of the concatenated layout.
+//
+// Thread-safe: any number of threads may issue doc queries concurrently
+// (sessions are pooled inside QueryEngine; the per-call doc counters fold
+// into the aggregate under a mutex).
+
+#ifndef ERA_COLLECTION_DOC_ENGINE_H_
+#define ERA_COLLECTION_DOC_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "collection/document_map.h"
+#include "common/status.h"
+#include "query/query_engine.h"
+
+namespace era {
+
+/// One document's share of a pattern's occurrences.
+struct DocHit {
+  uint32_t doc_id = 0;
+  uint64_t occurrences = 0;
+
+  bool operator==(const DocHit& other) const {
+    return doc_id == other.doc_id && occurrences == other.occurrences;
+  }
+};
+
+/// Aggregate counters for the document-query path (tree-walk work is in the
+/// underlying QueryEngine's QueryStats; these count catalog work).
+struct DocQueryStats {
+  /// Completed doc-level calls (batch items count individually).
+  uint64_t queries = 0;
+  /// Global occurrence offsets folded through the DocumentMap.
+  uint64_t offsets_resolved = 0;
+  /// Offsets that resolved to no document (separator/terminal positions;
+  /// always 0 for valid patterns — a nonzero value flags a layout bug).
+  uint64_t offsets_outside_documents = 0;
+  /// Sum over queries of distinct matching documents.
+  uint64_t docs_matched = 0;
+
+  void Add(const DocQueryStats& other) {
+    queries += other.queries;
+    offsets_resolved += other.offsets_resolved;
+    offsets_outside_documents += other.offsets_outside_documents;
+    docs_matched += other.docs_matched;
+  }
+};
+
+/// Read-side facade over a collection index directory (MANIFEST + DOCMAP).
+class DocEngine {
+ public:
+  /// Opens the underlying QueryEngine and loads + checksum-verifies DOCMAP.
+  static StatusOr<std::unique_ptr<DocEngine>> Open(
+      Env* env, const std::string& index_dir,
+      const QueryEngineOptions& options = QueryEngineOptions{});
+
+  /// Number of distinct documents containing `pattern` (document frequency).
+  StatusOr<uint64_t> CountDocs(const std::string& pattern);
+
+  /// The `k` documents with the most occurrences of `pattern`, ordered by
+  /// descending occurrence count, ties by ascending doc id. Fewer than `k`
+  /// entries when fewer documents match.
+  StatusOr<std::vector<DocHit>> TopKDocuments(const std::string& pattern,
+                                              std::size_t k);
+
+  /// Occurrence offsets of `pattern` WITHIN document `doc_id` (document-
+  /// local coordinates), ascending.
+  StatusOr<std::vector<uint64_t>> LocateInDoc(const std::string& pattern,
+                                              uint32_t doc_id);
+
+  /// Per-document occurrence histogram for `pattern`, ascending doc id.
+  /// (CountDocs/TopKDocuments are views of this.)
+  StatusOr<std::vector<DocHit>> DocumentHistogram(const std::string& pattern);
+
+  /// Batched variants; answers are index-aligned with `patterns`.
+  StatusOr<std::vector<uint64_t>> CountDocsBatch(
+      const std::vector<std::string>& patterns);
+  StatusOr<std::vector<std::vector<DocHit>>> TopKDocumentsBatch(
+      const std::vector<std::string>& patterns, std::size_t k);
+
+  const DocumentMap& documents() const { return documents_; }
+  /// The underlying pattern engine (plain Count/Locate over the combined
+  /// text, cache snapshots, I/O counters).
+  QueryEngine& engine() { return *engine_; }
+  /// Snapshot of the aggregate document-query counters.
+  DocQueryStats doc_stats() const;
+
+ private:
+  DocEngine(std::unique_ptr<QueryEngine> engine, DocumentMap documents)
+      : engine_(std::move(engine)), documents_(std::move(documents)) {}
+
+  /// Rejects patterns that could only match across the concatenated layout.
+  Status ValidatePattern(const std::string& pattern) const;
+
+  /// Histogram core: one Locate + one merge pass; per-call counters are
+  /// accumulated into `stats`.
+  StatusOr<std::vector<DocHit>> HistogramWithStats(const std::string& pattern,
+                                                   DocQueryStats* stats);
+
+  void FoldStats(const DocQueryStats& stats);
+
+  std::unique_ptr<QueryEngine> engine_;
+  DocumentMap documents_;
+
+  mutable std::mutex mu_;
+  DocQueryStats stats_;
+};
+
+/// Sorts a document histogram into TopK order (occurrences descending, doc
+/// id ascending) and truncates to `k`. Exposed for tests and benches.
+std::vector<DocHit> TopKFromHistogram(std::vector<DocHit> histogram,
+                                      std::size_t k);
+
+}  // namespace era
+
+#endif  // ERA_COLLECTION_DOC_ENGINE_H_

@@ -1,0 +1,229 @@
+#include "collection/document_map.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_set>
+
+#include "alphabet/alphabet.h"
+#include "common/crc32.h"
+
+namespace era {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', 'R', 'A', 'D', 'O', 'C', 'M', 'P'};
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+/// Cursor over the payload; every read is bounds-checked so a truncated or
+/// bit-flipped length field can never drive reads past the buffer.
+struct PayloadReader {
+  const std::string& data;
+  std::size_t pos = 0;
+
+  template <typename T>
+  Status Get(T* out) {
+    if (data.size() - pos < sizeof(T)) {
+      return Status::Corruption("DOCMAP payload truncated");
+    }
+    std::memcpy(out, data.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return Status::OK();
+  }
+
+  Status GetString(std::size_t n, std::string* out) {
+    if (data.size() - pos < n) {
+      return Status::Corruption("DOCMAP payload truncated");
+    }
+    out->assign(data.data() + pos, n);
+    pos += n;
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+StatusOr<DocumentMap> DocumentMap::Create(std::vector<DocumentSpan> documents,
+                                          char separator) {
+  if (separator == kTerminal) {
+    return Status::InvalidArgument(
+        "separator must differ from the terminal byte");
+  }
+  std::unordered_set<std::string> names;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    const DocumentSpan& doc = documents[i];
+    if (doc.name.empty()) {
+      return Status::InvalidArgument("document " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    if (!names.insert(doc.name).second) {
+      return Status::InvalidArgument("duplicate document name: " + doc.name);
+    }
+    // All arithmetic below is in subtraction form so a hostile DOCMAP with
+    // near-UINT64_MAX fields cannot wrap its way past validation.
+    if (doc.length > UINT64_MAX - doc.start) {
+      return Status::InvalidArgument("document span overflows: " + doc.name);
+    }
+    if (i > 0) {
+      const DocumentSpan& prev = documents[i - 1];
+      // At least one separator byte must sit between consecutive documents;
+      // this is what makes cross-document matches impossible.
+      if (doc.start <= prev.start ||
+          doc.start - prev.start - 1 < prev.length) {
+        return Status::InvalidArgument(
+            "document spans overlap or are not separator-gapped: " +
+            prev.name + " and " + doc.name);
+      }
+    }
+  }
+  DocumentMap map;
+  map.documents_ = std::move(documents);
+  map.separator_ = separator;
+  return map;
+}
+
+bool DocumentMap::Resolve(uint64_t global_offset, DocLocation* out) const {
+  // First document whose start is > offset; only its predecessor can
+  // contain the offset (spans are disjoint and ascending).
+  auto it = std::upper_bound(
+      documents_.begin(), documents_.end(), global_offset,
+      [](uint64_t off, const DocumentSpan& doc) { return off < doc.start; });
+  if (it == documents_.begin()) return false;
+  --it;
+  if (global_offset - it->start >= it->length) return false;  // separator etc.
+  out->doc_id = static_cast<uint32_t>(it - documents_.begin());
+  out->local_offset = global_offset - it->start;
+  return true;
+}
+
+bool DocumentMap::ResolveSpan(uint64_t global_offset, uint64_t length,
+                              DocLocation* out) const {
+  DocLocation loc;
+  if (!Resolve(global_offset, &loc)) return false;
+  const DocumentSpan& doc = documents_[loc.doc_id];
+  if (length > doc.length - loc.local_offset) return false;
+  *out = loc;
+  return true;
+}
+
+StatusOr<uint32_t> DocumentMap::FindDocument(const std::string& name) const {
+  for (std::size_t i = 0; i < documents_.size(); ++i) {
+    if (documents_[i].name == name) return static_cast<uint32_t>(i);
+  }
+  return Status::NotFound("no document named " + name);
+}
+
+uint64_t DocumentMap::TotalDocumentBytes() const {
+  uint64_t total = 0;
+  for (const DocumentSpan& doc : documents_) total += doc.length;
+  return total;
+}
+
+Status DocumentMap::Save(Env* env, const std::string& path) const {
+  std::string payload;
+  PutU32(&payload, kVersion);
+  payload.push_back(separator_);
+  PutU32(&payload, static_cast<uint32_t>(documents_.size()));
+  for (const DocumentSpan& doc : documents_) {
+    PutU64(&payload, doc.start);
+    PutU64(&payload, doc.length);
+    PutU32(&payload, static_cast<uint32_t>(doc.name.size()));
+    payload += doc.name;
+  }
+  std::string file(kMagic, sizeof(kMagic));
+  file += payload;
+  PutU32(&file, Crc32c(payload.data(), payload.size()));
+  return env->WriteFile(path, file);
+}
+
+StatusOr<DocumentMap> DocumentMap::Load(Env* env, const std::string& path) {
+  std::string raw;
+  ERA_RETURN_NOT_OK(env->ReadFileToString(path, &raw));
+  if (raw.size() < sizeof(kMagic) + sizeof(uint32_t) ||
+      std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a DOCMAP file: " + path);
+  }
+  const std::string payload =
+      raw.substr(sizeof(kMagic), raw.size() - sizeof(kMagic) - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, raw.data() + raw.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (Crc32c(payload.data(), payload.size()) != stored_crc) {
+    return Status::Corruption("DOCMAP checksum mismatch: " + path);
+  }
+
+  PayloadReader reader{payload};
+  uint32_t version = 0;
+  ERA_RETURN_NOT_OK(reader.Get(&version));
+  if (version != kVersion) {
+    return Status::NotSupported("unknown DOCMAP version " +
+                                std::to_string(version));
+  }
+  char separator = '\0';
+  ERA_RETURN_NOT_OK(reader.Get(&separator));
+  uint32_t count = 0;
+  ERA_RETURN_NOT_OK(reader.Get(&count));
+  std::vector<DocumentSpan> documents;
+  documents.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DocumentSpan doc;
+    ERA_RETURN_NOT_OK(reader.Get(&doc.start));
+    ERA_RETURN_NOT_OK(reader.Get(&doc.length));
+    uint32_t name_len = 0;
+    ERA_RETURN_NOT_OK(reader.Get(&name_len));
+    ERA_RETURN_NOT_OK(reader.GetString(name_len, &doc.name));
+    documents.push_back(std::move(doc));
+  }
+  if (reader.pos != payload.size()) {
+    return Status::Corruption("DOCMAP payload has trailing bytes");
+  }
+  // Re-validate through Create so a checksum-valid but structurally bad file
+  // (hand-edited, version-skewed writer) still fails closed.
+  return Create(std::move(documents), separator);
+}
+
+StatusOr<GeneralizedCollection> ConcatenateCollection(
+    const std::vector<CollectionDocument>& documents, char separator) {
+  if (documents.empty()) return Status::InvalidArgument("no documents");
+  if (separator == kTerminal) {
+    return Status::InvalidArgument(
+        "separator must differ from the terminal byte");
+  }
+  GeneralizedCollection out;
+  std::vector<DocumentSpan> spans;
+  spans.reserve(documents.size());
+  for (std::size_t d = 0; d < documents.size(); ++d) {
+    const CollectionDocument& doc = documents[d];
+    if (doc.body.find(separator) != std::string::npos) {
+      return Status::InvalidArgument("document " + doc.name +
+                                     " contains the separator byte");
+    }
+    if (doc.body.find(kTerminal) != std::string::npos) {
+      return Status::InvalidArgument("document " + doc.name +
+                                     " contains the terminal byte");
+    }
+    spans.push_back({doc.name, out.text.size(), doc.body.size()});
+    out.text += doc.body;
+    // Every document is separator-closed (the last one by the terminal
+    // below), so suffixes of one document never continue into the next
+    // without passing a reserved byte.
+    if (d + 1 < documents.size()) out.text.push_back(separator);
+  }
+  out.text.push_back(kTerminal);
+  ERA_ASSIGN_OR_RETURN(out.documents,
+                       DocumentMap::Create(std::move(spans), separator));
+  return out;
+}
+
+}  // namespace era

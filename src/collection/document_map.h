@@ -1,0 +1,118 @@
+// Document catalog for generalized (multi-document) suffix-tree indexes.
+//
+// A collection index stores ONE concatenated text: the documents joined by a
+// reserved separator byte, with the library terminal at the end.  The
+// DocumentMap is the persistent sidecar that records where each named
+// document lives inside that text, so the serving layer can translate the
+// tree's global suffix offsets back into (document, local offset) answers.
+//
+// Layout invariant (enforced by Create): document spans are disjoint, in
+// ascending start order, and consecutive documents are separated by at least
+// one non-document byte (the separator).  Because documents never contain
+// the separator or the terminal, no pattern over the base alphabet can match
+// across a document boundary — cross-document isolation is a property of the
+// text layout, not of query-time filtering.
+//
+// On disk the catalog is a `DOCMAP` file next to `MANIFEST`:
+//
+//   bytes 0..7   magic "ERADOCMP"
+//   payload      u32 version (=1), u8 separator, u32 doc_count, then per
+//                document: u64 start, u64 length, u32 name_len, name bytes
+//   footer       u32 CRC-32C of the payload
+//
+// A flipped bit anywhere in the payload fails the checksum on Load.
+
+#ifndef ERA_COLLECTION_DOCUMENT_MAP_H_
+#define ERA_COLLECTION_DOCUMENT_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/env.h"
+
+namespace era {
+
+/// Filename of the catalog inside an index directory (next to MANIFEST).
+inline constexpr char kDocMapFilename[] = "DOCMAP";
+
+/// One cataloged document: its name and where its body lies in the
+/// concatenated text. `length` may be 0 (empty documents are legal).
+struct DocumentSpan {
+  std::string name;
+  uint64_t start = 0;
+  uint64_t length = 0;
+};
+
+/// A global text offset translated into document coordinates.
+struct DocLocation {
+  uint32_t doc_id = 0;
+  uint64_t local_offset = 0;
+};
+
+/// Immutable catalog of the documents behind one collection index.
+class DocumentMap {
+ public:
+  DocumentMap() = default;
+
+  /// Validates the layout invariant (ascending disjoint spans with at least
+  /// one separator byte between consecutive documents, unique non-empty
+  /// names, separator below the terminal) and builds the catalog.
+  static StatusOr<DocumentMap> Create(std::vector<DocumentSpan> documents,
+                                      char separator);
+
+  uint32_t num_documents() const {
+    return static_cast<uint32_t>(documents_.size());
+  }
+  const DocumentSpan& document(uint32_t id) const { return documents_[id]; }
+  const std::vector<DocumentSpan>& documents() const { return documents_; }
+  char separator() const { return separator_; }
+
+  /// Resolves a global text offset to the document containing it. Returns
+  /// false for offsets on separator or terminal bytes (no document).
+  bool Resolve(uint64_t global_offset, DocLocation* out) const;
+
+  /// Resolves `[global_offset, global_offset + length)` when the whole span
+  /// lies inside a single document; returns false if it touches a separator,
+  /// the terminal, or runs past the last document.
+  bool ResolveSpan(uint64_t global_offset, uint64_t length,
+                   DocLocation* out) const;
+
+  /// Id of the document named `name`, or NotFound.
+  StatusOr<uint32_t> FindDocument(const std::string& name) const;
+
+  /// Sum of document lengths (separators and terminal excluded).
+  uint64_t TotalDocumentBytes() const;
+
+  Status Save(Env* env, const std::string& path) const;
+  static StatusOr<DocumentMap> Load(Env* env, const std::string& path);
+
+ private:
+  std::vector<DocumentSpan> documents_;
+  char separator_ = '\0';
+};
+
+/// A named document body awaiting concatenation (raw symbols; no terminal).
+struct CollectionDocument {
+  std::string name;
+  std::string body;
+};
+
+/// A concatenated collection: the indexable text plus its catalog.
+struct GeneralizedCollection {
+  std::string text;
+  DocumentMap documents;
+};
+
+/// Joins `documents` with `separator` between them (terminal appended) and
+/// catalogs every span. InvalidArgument if any body contains the separator
+/// or the terminal byte, if names collide, or if no documents are given.
+/// This is the single concatenation routine behind CollectionBuilder and
+/// query/applications' ConcatenateDocuments.
+StatusOr<GeneralizedCollection> ConcatenateCollection(
+    const std::vector<CollectionDocument>& documents, char separator);
+
+}  // namespace era
+
+#endif  // ERA_COLLECTION_DOCUMENT_MAP_H_

@@ -137,33 +137,23 @@ StatusOr<Motif> MostFrequentKmer(Env* env, const TreeIndex& index,
   return best;
 }
 
-StatusOr<GeneralizedText> ConcatenateDocuments(
+StatusOr<GeneralizedCollection> ConcatenateDocuments(
     const std::vector<std::string>& documents, char separator) {
-  if (documents.empty()) {
-    return Status::InvalidArgument("no documents");
-  }
-  GeneralizedText out;
+  std::vector<CollectionDocument> named;
+  named.reserve(documents.size());
   for (std::size_t d = 0; d < documents.size(); ++d) {
-    out.doc_starts.push_back(out.text.size());
-    out.text += documents[d];
-    if (d + 1 < documents.size()) out.text.push_back(separator);
+    named.push_back({"doc" + std::to_string(d), documents[d]});
   }
-  out.text.push_back(kTerminal);
-  return out;
+  return ConcatenateCollection(named, separator);
 }
 
 StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
-                                           const std::string& text,
-                                           const std::vector<uint64_t>& starts,
-                                           std::size_t doc_a, std::size_t doc_b,
-                                           char separator) {
-  if (doc_a >= starts.size() || doc_b >= starts.size()) {
+                                           const DocumentMap& documents,
+                                           uint32_t doc_a, uint32_t doc_b) {
+  if (doc_a >= documents.num_documents() ||
+      doc_b >= documents.num_documents()) {
     return Status::InvalidArgument("document id out of range");
   }
-  auto doc_of = [&](uint64_t pos) {
-    auto it = std::upper_bound(starts.begin(), starts.end(), pos);
-    return static_cast<std::size_t>(it - starts.begin()) - 1;
-  };
 
   Substring best;
   for (uint32_t id = 0; id < index.subtrees().size(); ++id) {
@@ -174,24 +164,24 @@ StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
       CollectLeaves(*tree, node, &leaves);
       bool has_a = false;
       bool has_b = false;
+      uint64_t witness = 0;
+      bool have_witness = false;
       for (uint64_t pos : leaves) {
-        std::size_t d = doc_of(pos);
-        has_a |= (d == doc_a);
-        has_b |= (d == doc_b);
+        DocLocation loc;
+        // A suffix starting on a separator/terminal byte belongs to no
+        // document; a suffix whose first `depth` symbols leave its document
+        // cannot witness a common substring of that length.
+        if (!documents.ResolveSpan(pos, depth, &loc)) continue;
+        if (!have_witness) {
+          witness = pos;
+          have_witness = true;
+        }
+        has_a |= (loc.doc_id == doc_a);
+        has_b |= (loc.doc_id == doc_b);
       }
       if (!has_a || !has_b) return;
-      // The path must not cross a document boundary.
-      uint64_t offset = leaves.front();
-      bool crosses = false;
-      for (uint64_t i = 0; i < depth; ++i) {
-        if (text[offset + i] == separator) {
-          crosses = true;
-          break;
-        }
-      }
-      if (crosses) return;
       best.length = depth;
-      best.offset = offset;
+      best.offset = witness;
     });
   }
   return best;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "collection/document_map.h"
 #include "common/status.h"
 #include "suffixtree/tree_index.h"
 
@@ -37,23 +38,21 @@ StatusOr<Motif> MostFrequentKmer(Env* env, const TreeIndex& index,
                                  const std::string& text, uint64_t k);
 
 /// Concatenates documents with `separator` between them (generalized
-/// suffix tree input). Returns the combined text (terminal appended) and
-/// the start offset of each document.
-struct GeneralizedText {
-  std::string text;
-  std::vector<uint64_t> doc_starts;
-};
-StatusOr<GeneralizedText> ConcatenateDocuments(
+/// suffix tree input). Returns the combined text (terminal appended) and a
+/// DocumentMap cataloging the spans (documents are named "doc0", "doc1",
+/// ...). InvalidArgument if a document contains the separator or terminal
+/// byte — collisions fail here, at ingestion, not later at query time.
+/// Empty documents and single-document collections are legal layouts.
+StatusOr<GeneralizedCollection> ConcatenateDocuments(
     const std::vector<std::string>& documents, char separator);
 
 /// Longest common substring of documents `doc_a` and `doc_b` inside a
-/// generalized index built over ConcatenateDocuments output. The result
-/// offset refers to the combined text.
+/// generalized index built over ConcatenateDocuments/ConcatenateCollection
+/// output. Offset→document resolution and the boundary-crossing check both
+/// come from the DocumentMap. The result offset refers to the combined text.
 StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
-                                           const std::string& text,
-                                           const std::vector<uint64_t>& starts,
-                                           std::size_t doc_a, std::size_t doc_b,
-                                           char separator);
+                                           const DocumentMap& documents,
+                                           uint32_t doc_a, uint32_t doc_b);
 
 }  // namespace era
 

@@ -4,27 +4,34 @@
 
 namespace era {
 
-StatusOr<std::string> ReadFasta(Env* env, const std::string& path,
-                                const Alphabet& alphabet,
-                                FastaCleanPolicy policy) {
+StatusOr<std::vector<FastaRecord>> ReadFastaRecords(Env* env,
+                                                    const std::string& path,
+                                                    const Alphabet& alphabet,
+                                                    FastaCleanPolicy policy) {
   std::string raw;
   ERA_RETURN_NOT_OK(env->ReadFileToString(path, &raw));
 
-  std::string text;
-  text.reserve(raw.size());
+  std::vector<FastaRecord> records;
   bool in_header = false;
-  bool saw_record = false;
   for (char c : raw) {
     if (c == '>') {
       in_header = true;
-      saw_record = true;
+      records.emplace_back();
       continue;
     }
     if (in_header) {
-      if (c == '\n') in_header = false;
+      if (c == '\n') {
+        in_header = false;
+      } else if (c != '\r') {
+        records.back().header.push_back(c);
+      }
       continue;
     }
     if (c == '\n' || c == '\r' || c == ' ' || c == '\t') continue;
+    if (records.empty()) {
+      return Status::InvalidArgument("sequence data before any '>' header in " +
+                                     path);
+    }
     char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
     // English alphabets are lowercase; try the original byte too.
     char use = alphabet.Contains(u) ? u : c;
@@ -35,11 +42,32 @@ StatusOr<std::string> ReadFasta(Env* env, const std::string& path,
       }
       continue;  // kSkip
     }
-    text.push_back(use);
+    records.back().sequence.push_back(use);
   }
-  if (!saw_record) {
+  if (records.empty()) {
     return Status::InvalidArgument("no FASTA records in " + path);
   }
+  // Trim trailing whitespace left by headers like "> name ".
+  for (FastaRecord& record : records) {
+    while (!record.header.empty() &&
+           (record.header.back() == ' ' || record.header.back() == '\t')) {
+      record.header.pop_back();
+    }
+    while (!record.header.empty() &&
+           (record.header.front() == ' ' || record.header.front() == '\t')) {
+      record.header.erase(record.header.begin());
+    }
+  }
+  return records;
+}
+
+StatusOr<std::string> ReadFasta(Env* env, const std::string& path,
+                                const Alphabet& alphabet,
+                                FastaCleanPolicy policy) {
+  ERA_ASSIGN_OR_RETURN(std::vector<FastaRecord> records,
+                       ReadFastaRecords(env, path, alphabet, policy));
+  std::string text;
+  for (const FastaRecord& record : records) text += record.sequence;
   text.push_back(alphabet.terminal());
   return text;
 }

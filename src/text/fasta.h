@@ -5,6 +5,7 @@
 #define ERA_TEXT_FASTA_H_
 
 #include <string>
+#include <vector>
 
 #include "alphabet/alphabet.h"
 #include "common/status.h"
@@ -20,9 +21,26 @@ enum class FastaCleanPolicy {
   kStrict,
 };
 
+/// One FASTA record: the header line (text after '>', trimmed) and its
+/// cleaned sequence (no terminal appended).
+struct FastaRecord {
+  std::string header;
+  std::string sequence;
+};
+
+/// Reads a multi-record FASTA file from `env` into per-record (header,
+/// sequence) pairs — the document-collection ingestion path. Symbols are
+/// uppercased where the alphabet expects it and `policy` is applied to
+/// foreign bytes. Fails if the file holds no records.
+StatusOr<std::vector<FastaRecord>> ReadFastaRecords(Env* env,
+                                                    const std::string& path,
+                                                    const Alphabet& alphabet,
+                                                    FastaCleanPolicy policy);
+
 /// Reads a (multi-record) FASTA file from `env`, concatenates the sequence
 /// data of all records, uppercases symbols, applies `policy` to foreign
-/// bytes, appends the terminal, and returns the text.
+/// bytes, appends the terminal, and returns the text. (The flattening
+/// wrapper over ReadFastaRecords; single-string indexing keeps using it.)
 StatusOr<std::string> ReadFasta(Env* env, const std::string& path,
                                 const Alphabet& alphabet,
                                 FastaCleanPolicy policy);

@@ -8,16 +8,23 @@
 //   era_cli generate <out-file> <dna|protein|english> <bytes> [seed]
 //   era_cli bench-query <index-dir> [--threads N] [--patterns N]
 //                  [--cache-mb N] [--seed S]   (replays a sampled workload)
+//   era_cli build-collection <index-dir> [--alphabet ...] [--budget-mb N]
+//                  [--threads N] [--fasta] [--synthetic N] [--doc-bytes M]
+//                  [--seed S] [doc-file ...]   (generalized index + DOCMAP)
+//   era_cli doc-query <index-dir> <pattern> [--top K] [--doc NAME]
 //
 // The text file must be raw symbols; a trailing terminal byte ('~') is
 // appended if missing.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "collection/collection_builder.h"
+#include "collection/doc_engine.h"
 #include "era/era_builder.h"
 #include "era/parallel_builder.h"
 #include "io/env.h"
@@ -43,7 +50,15 @@ int Usage() {
       "  era_cli verify <index-dir>\n"
       "  era_cli generate <out-file> <dna|protein|english> <bytes> [seed]\n"
       "  era_cli bench-query <index-dir> [--threads N] [--patterns N]\n"
-      "                 [--cache-mb N] [--seed S]\n");
+      "                 [--cache-mb N] [--seed S]\n"
+      "  era_cli build-collection <index-dir> [--alphabet dna|protein|\n"
+      "                 english] [--budget-mb N] [--threads N] [--fasta]\n"
+      "                 [--synthetic N] [--doc-bytes M] [--seed S]\n"
+      "                 [doc-file ...]\n"
+      "       (each doc-file is one document; with --fasta every record of\n"
+      "        every file becomes a document; --synthetic N generates N\n"
+      "        documents of ~M bytes)\n"
+      "  era_cli doc-query <index-dir> <pattern> [--top K] [--doc NAME]\n");
   return 2;
 }
 
@@ -260,6 +275,124 @@ int CmdBenchQuery(const std::vector<std::string>& args) {
   return 0;
 }
 
+int CmdBuildCollection(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Env* env = GetDefaultEnv();
+  const std::string index_dir = args[0];
+
+  auto alphabet_or = ParseAlphabet(FlagValue(args, "--alphabet", "dna"));
+  if (!alphabet_or.ok()) return Fail(alphabet_or.status());
+
+  CollectionBuildOptions options;
+  options.build.work_dir = index_dir;
+  options.build.memory_budget =
+      std::strtoull(FlagValue(args, "--budget-mb", "64").c_str(), nullptr, 10)
+      << 20;
+  options.num_workers = static_cast<unsigned>(std::max(
+      1ul, std::strtoul(FlagValue(args, "--threads", "1").c_str(), nullptr,
+                        10)));
+
+  const std::size_t synthetic = static_cast<std::size_t>(
+      std::strtoull(FlagValue(args, "--synthetic", "0").c_str(), nullptr, 10));
+  const std::size_t doc_bytes = static_cast<std::size_t>(std::strtoull(
+      FlagValue(args, "--doc-bytes", "65536").c_str(), nullptr, 10));
+  const uint64_t seed =
+      std::strtoull(FlagValue(args, "--seed", "42").c_str(), nullptr, 10);
+  bool fasta = false;
+  for (const std::string& arg : args) {
+    if (arg == "--fasta") fasta = true;
+  }
+
+  // Positional document files: everything after the index dir that is not a
+  // flag or a flag's value.
+  std::vector<std::string> doc_files;
+  const std::vector<std::string> value_flags = {
+      "--alphabet", "--budget-mb", "--threads",
+      "--synthetic", "--doc-bytes", "--seed"};
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--fasta") continue;
+    bool is_value_flag = false;
+    for (const std::string& flag : value_flags) {
+      if (args[i] == flag) {
+        is_value_flag = true;
+        break;
+      }
+    }
+    if (is_value_flag) {
+      ++i;  // skip the flag's value
+      continue;
+    }
+    doc_files.push_back(args[i]);
+  }
+
+  CollectionBuilder builder(*alphabet_or, options);
+  if (synthetic > 0) {
+    if (Status s = builder.AddSyntheticDocuments(synthetic, doc_bytes, seed);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+  for (const std::string& file : doc_files) {
+    Status s = fasta
+                   ? builder.AddFastaFile(env, file, FastaCleanPolicy::kSkip)
+                   : builder.AddTextFile(env, file);
+    if (!s.ok()) return Fail(s);
+  }
+  if (builder.num_documents() == 0) {
+    std::fprintf(stderr, "no documents (give doc files or --synthetic N)\n");
+    return Usage();
+  }
+
+  auto result = builder.Build();
+  if (!result.ok()) return Fail(result.status());
+  std::printf("collection: %u documents, %llu document bytes\n",
+              result->documents.num_documents(),
+              static_cast<unsigned long long>(
+                  result->documents.TotalDocumentBytes()));
+  std::printf("%s\n", result->stats.ToString().c_str());
+  return 0;
+}
+
+int CmdDocQuery(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto engine = DocEngine::Open(GetDefaultEnv(), args[0]);
+  if (!engine.ok()) return Fail(engine.status());
+  const std::string& pattern = args[1];
+  const std::size_t top = static_cast<std::size_t>(
+      std::strtoull(FlagValue(args, "--top", "5").c_str(), nullptr, 10));
+
+  auto histogram = (*engine)->DocumentHistogram(pattern);
+  if (!histogram.ok()) return Fail(histogram.status());
+  uint64_t occurrences = 0;
+  for (const DocHit& hit : *histogram) occurrences += hit.occurrences;
+  std::printf("%zu of %u documents match (%llu occurrences)\n",
+              histogram->size(), (*engine)->documents().num_documents(),
+              static_cast<unsigned long long>(occurrences));
+  for (const DocHit& hit : TopKFromHistogram(*histogram, top)) {
+    std::printf("  %-40s %llu\n",
+                (*engine)->documents().document(hit.doc_id).name.c_str(),
+                static_cast<unsigned long long>(hit.occurrences));
+  }
+
+  const std::string doc_name = FlagValue(args, "--doc", "");
+  if (!doc_name.empty()) {
+    auto doc_id = (*engine)->documents().FindDocument(doc_name);
+    if (!doc_id.ok()) return Fail(doc_id.status());
+    auto local = (*engine)->LocateInDoc(pattern, *doc_id);
+    if (!local.ok()) return Fail(local.status());
+    std::printf("%s: %zu occurrence(s)", doc_name.c_str(), local->size());
+    const std::size_t shown = std::min<std::size_t>(local->size(), 20);
+    if (shown > 0) {
+      std::printf("; first %zu:", shown);
+      for (std::size_t i = 0; i < shown; ++i) {
+        std::printf(" %llu", static_cast<unsigned long long>((*local)[i]));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 int CmdGenerate(const std::vector<std::string>& args) {
   if (args.size() < 3) return Usage();
   uint64_t bytes = std::strtoull(args[2].c_str(), nullptr, 10);
@@ -297,5 +430,7 @@ int main(int argc, char** argv) {
   if (command == "verify") return era::CmdVerify(args);
   if (command == "generate") return era::CmdGenerate(args);
   if (command == "bench-query") return era::CmdBenchQuery(args);
+  if (command == "build-collection") return era::CmdBuildCollection(args);
+  if (command == "doc-query") return era::CmdDocQuery(args);
   return era::Usage();
 }

@@ -258,8 +258,55 @@ TEST_F(ApplicationsTest, ConcatenateDocumentsLayout) {
   auto combined = ConcatenateDocuments({"abc", "de", "f"}, '#');
   ASSERT_TRUE(combined.ok());
   EXPECT_EQ(combined->text, std::string("abc#de#f") + kTerminal);
-  EXPECT_EQ(combined->doc_starts, (std::vector<uint64_t>{0, 4, 7}));
+  ASSERT_EQ(combined->documents.num_documents(), 3u);
+  EXPECT_EQ(combined->documents.document(0).start, 0u);
+  EXPECT_EQ(combined->documents.document(1).start, 4u);
+  EXPECT_EQ(combined->documents.document(2).start, 7u);
+  EXPECT_EQ(combined->documents.document(1).length, 2u);
+  EXPECT_EQ(combined->documents.document(1).name, "doc1");
+  EXPECT_EQ(combined->documents.separator(), '#');
   EXPECT_FALSE(ConcatenateDocuments({}, '#').ok());
+}
+
+TEST_F(ApplicationsTest, ConcatenateDocumentsRejectsReservedBytes) {
+  // A document containing the separator or the terminal must fail at
+  // ingestion (InvalidArgument), not later at LCS query time.
+  auto sep_collision = ConcatenateDocuments({"ab#c", "de"}, '#');
+  EXPECT_FALSE(sep_collision.ok());
+  EXPECT_EQ(sep_collision.status().code(), Status::Code::kInvalidArgument);
+  auto term_collision =
+      ConcatenateDocuments({std::string("ab") + kTerminal, "de"}, '#');
+  EXPECT_FALSE(term_collision.ok());
+  EXPECT_EQ(term_collision.status().code(), Status::Code::kInvalidArgument);
+  // The separator itself may not be the terminal.
+  EXPECT_FALSE(ConcatenateDocuments({"ab"}, kTerminal).ok());
+}
+
+TEST_F(ApplicationsTest, ConcatenateDocumentsDegenerateLayouts) {
+  // Single document: no separators, just the terminal.
+  auto single = ConcatenateDocuments({"abc"}, '#');
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->text, std::string("abc") + kTerminal);
+  ASSERT_EQ(single->documents.num_documents(), 1u);
+  DocLocation loc;
+  EXPECT_TRUE(single->documents.Resolve(2, &loc));
+  EXPECT_EQ(loc.doc_id, 0u);
+  EXPECT_FALSE(single->documents.Resolve(3, &loc));  // terminal
+
+  // Empty documents in every position.
+  auto with_empty = ConcatenateDocuments({"", "ab", "", "c", ""}, '#');
+  ASSERT_TRUE(with_empty.ok());
+  EXPECT_EQ(with_empty->text, std::string("#ab##c#") + kTerminal);
+  ASSERT_EQ(with_empty->documents.num_documents(), 5u);
+  EXPECT_TRUE(with_empty->documents.Resolve(1, &loc));
+  EXPECT_EQ(loc.doc_id, 1u);
+  EXPECT_EQ(loc.local_offset, 0u);
+  EXPECT_TRUE(with_empty->documents.Resolve(5, &loc));
+  EXPECT_EQ(loc.doc_id, 3u);
+  // Separators and the terminal resolve to no document.
+  for (uint64_t off : {0u, 3u, 4u, 6u, 7u}) {
+    EXPECT_FALSE(with_empty->documents.Resolve(off, &loc)) << off;
+  }
 }
 
 TEST_F(ApplicationsTest, LongestCommonSubstringMatchesNaiveDp) {
@@ -278,8 +325,7 @@ TEST_F(ApplicationsTest, LongestCommonSubstringMatchesNaiveDp) {
   ASSERT_TRUE(alphabet.ok());
   TreeIndex index = BuildIndex(combined->text, "/lcs", *alphabet);
 
-  auto lcs = LongestCommonSubstring(&env_, index, combined->text,
-                                    combined->doc_starts, 0, 1, '#');
+  auto lcs = LongestCommonSubstring(&env_, index, combined->documents, 0, 1);
   ASSERT_TRUE(lcs.ok()) << lcs.status().ToString();
 
   // Naive DP oracle for the LCS length.

@@ -108,6 +108,62 @@ TEST(FastaTest, MissingRecordsFail) {
   EXPECT_FALSE(
       ReadFasta(&env, "/bad.fa", Alphabet::Dna(), FastaCleanPolicy::kSkip)
           .ok());
+  EXPECT_FALSE(
+      ReadFastaRecords(&env, "/bad.fa", Alphabet::Dna(),
+                       FastaCleanPolicy::kSkip)
+          .ok());
+}
+
+TEST(FastaTest, RecordsParseHeadersAndSequencesSeparately) {
+  // Multi-record files become (header, sequence) pairs — the document-
+  // collection ingestion path — while ReadFasta keeps flattening them.
+  MemEnv env;
+  ASSERT_TRUE(env.WriteFile("/recs.fa",
+                            "> chr1 primary assembly \r\n"
+                            "ACGT\nACgt\n"
+                            ">chr2\n"
+                            "ttNNga\n"
+                            ">empty-record\n"
+                            ">chr3\nG\n")
+                  .ok());
+  auto records = ReadFastaRecords(&env, "/recs.fa", Alphabet::Dna(),
+                                  FastaCleanPolicy::kSkip);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[0].header, "chr1 primary assembly");
+  EXPECT_EQ((*records)[0].sequence, "ACGTACGT");
+  EXPECT_EQ((*records)[1].header, "chr2");
+  EXPECT_EQ((*records)[1].sequence, "TTGA");
+  EXPECT_EQ((*records)[2].header, "empty-record");
+  EXPECT_EQ((*records)[2].sequence, "");
+  EXPECT_EQ((*records)[3].header, "chr3");
+  EXPECT_EQ((*records)[3].sequence, "G");
+
+  // The flattening wrapper concatenates exactly the per-record sequences.
+  auto flat =
+      ReadFasta(&env, "/recs.fa", Alphabet::Dna(), FastaCleanPolicy::kSkip);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(*flat, std::string("ACGTACGTTTGAG") + kTerminal);
+
+  // Strict cleaning errors propagate through the record path too.
+  EXPECT_FALSE(ReadFastaRecords(&env, "/recs.fa", Alphabet::Dna(),
+                                FastaCleanPolicy::kStrict)
+                   .ok());
+
+  // Sequence bytes before the first header are rejected...
+  ASSERT_TRUE(env.WriteFile("/headless.fa", "ACGT\n>chr1\nACGT\n").ok());
+  EXPECT_FALSE(ReadFastaRecords(&env, "/headless.fa", Alphabet::Dna(),
+                                FastaCleanPolicy::kSkip)
+                   .ok());
+
+  // ...but leading whitespace before the first header is tolerated (real
+  // FASTA files often start with a blank line).
+  ASSERT_TRUE(env.WriteFile("/padded.fa", "\n \t\r\n>chr1\nACGT\n").ok());
+  auto padded = ReadFastaRecords(&env, "/padded.fa", Alphabet::Dna(),
+                                 FastaCleanPolicy::kStrict);
+  ASSERT_TRUE(padded.ok()) << padded.status().ToString();
+  ASSERT_EQ(padded->size(), 1u);
+  EXPECT_EQ((*padded)[0].sequence, "ACGT");
 }
 
 TEST(CorpusTest, MaterializeWritesTerminalAndCaches) {
