@@ -77,6 +77,10 @@ BuildOptions BenchOptions(uint64_t memory_budget, const std::string& tag) {
   // numbers, so it stays off here. bench_e2e_build measures it instead,
   // as wall time against LatencyEnv.
   options.prefetch_reads = false;
+  // Same reasoning for the shared tile cache: the figures measure the
+  // paper's uncached streaming cost model; the cache's win is recorded by
+  // bench_e2e_build (io_amplification columns in BENCH_era.json).
+  options.tile_cache = false;
   return options;
 }
 

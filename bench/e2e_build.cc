@@ -17,9 +17,16 @@
 //    identical partition (same FM, same groups) and the speedup isolates
 //    scheduling/overlap rather than plan differences; this is also what
 //    makes the output index byte-identical across rows (asserted in
-//    tests/pipeline_test.cc on small inputs).
-//  * Row 0 is the 1-worker run with prefetching disabled — the unpipelined
-//    reference every speedup is relative to.
+//    tests/pipeline_test.cc on small inputs). The tile-cache and
+//    prefetch-ring carves come out of the retrieved-data slack (R and the
+//    trie area above their floors; see era/memory_layout.h), so cached
+//    and uncached rows share the plan too.
+//  * Row 0 is the 1-worker run with prefetching and the tile cache disabled
+//    — the unpipelined reference every speedup is relative to. The
+//    1-worker prefetch-only row is the uncached reference for
+//    io_amplification: the bench FAILS (exit 1) if the cached 1-worker run
+//    does not come in strictly below it, which is the CI regression guard
+//    for this record.
 
 #include <unistd.h>
 
@@ -46,6 +53,7 @@ using bench::ScopedRemoveAll;
 struct RunResult {
   unsigned workers = 0;
   bool prefetch = false;
+  bool tile_cache = false;
   double wall_seconds = 0;
   double horizontal_seconds = 0;
   double vertical_seconds = 0;
@@ -53,7 +61,13 @@ struct RunResult {
   double speedup = 0;
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_misses = 0;
+  uint64_t prefetch_depth_hits = 0;
   double prefetch_hit_rate = 0;
+  double io_amplification = 0;
+  double device_read_mb = 0;
+  double tile_hit_rate = 0;
+  uint64_t tile_hits = 0;
+  uint64_t tile_misses = 0;
   double worker_busy_fraction = 0;
   uint64_t num_groups = 0;
   uint64_t num_subtrees = 0;
@@ -103,9 +117,20 @@ int Main(int argc, char** argv) {
   struct Config {
     unsigned workers;
     bool prefetch;
+    bool tile_cache;
   };
-  const std::vector<Config> configs = {
-      {1, false}, {1, true}, {2, true}, {4, true}, {8, true}};
+  // The two uncached 1-worker rows reproduce the PR 2 pipeline baselines;
+  // every cached row then shows what the shared tile cache (and the
+  // affinity-ordered scheduling feeding it) removes from the device.
+  // Uncached rows keep the seek optimization off (see the note above: at
+  // this window scale a skip re-reads a full window, amplifying device
+  // traffic past read-through — PR 2's measured optimum). Cached rows turn
+  // it ON: with resident tiles a skip costs nothing, and sparse late
+  // rounds then fetch only the windows they actually probe (the cache's
+  // span-granular bypass reads exactly those bytes on a miss).
+  const std::vector<Config> configs = {{1, false, false}, {1, true, false},
+                                       {1, true, true},   {2, true, true},
+                                       {4, true, true},   {8, true, true}};
 
   std::vector<RunResult> rows;
   double baseline_wall = 0;
@@ -113,16 +138,20 @@ int Main(int argc, char** argv) {
     BuildOptions options;
     options.env = &env;
     options.work_dir = root + "/w" + std::to_string(config.workers) +
-                       (config.prefetch ? "p" : "s");
+                       (config.prefetch ? "p" : "s") +
+                       (config.tile_cache ? "c" : "u");
     // Budget scales with workers: identical per-core share => identical
-    // partition plan and output index across rows.
+    // partition plan and output index across ALL rows — the tile-cache
+    // and prefetch-ring carves come out of the retrieved-data slack and
+    // never move FM (see era/memory_layout.cc).
     options.memory_budget = static_cast<uint64_t>(
         per_core_budget_mb * 1024 * 1024 * config.workers);
     options.input_buffer_bytes = static_cast<uint64_t>(buffer_kb * 1024);
     options.r_buffer_bytes = static_cast<uint64_t>(
         ArgOr(argc, argv, "r-buffer-mb", 4.0) * 1024 * 1024);
-    options.seek_optimization = seek_opt;
+    options.seek_optimization = config.tile_cache ? true : seek_opt;
     options.prefetch_reads = config.prefetch;
+    options.tile_cache = config.tile_cache;
 
     ParallelBuilder builder(options, config.workers);
     auto result = builder.Build(*info);
@@ -136,6 +165,7 @@ int Main(int argc, char** argv) {
     RunResult row;
     row.workers = config.workers;
     row.prefetch = config.prefetch;
+    row.tile_cache = config.tile_cache;
     row.wall_seconds = stats.total_seconds;
     row.horizontal_seconds = stats.horizontal_seconds;
     row.vertical_seconds = stats.vertical_seconds;
@@ -144,10 +174,17 @@ int Main(int argc, char** argv) {
     row.speedup = baseline_wall / stats.total_seconds;
     row.prefetch_hits = stats.io.prefetch_hits;
     row.prefetch_misses = stats.io.prefetch_misses;
+    row.prefetch_depth_hits = stats.io.prefetch_depth_hits;
     const uint64_t refills = stats.io.prefetch_hits + stats.io.prefetch_misses;
     row.prefetch_hit_rate =
         refills == 0 ? 0
                      : static_cast<double>(stats.io.prefetch_hits) / refills;
+    row.io_amplification = stats.io_amplification();
+    row.device_read_mb =
+        static_cast<double>(stats.io.bytes_read) / (1024 * 1024);
+    row.tile_hit_rate = stats.tile_hit_rate();
+    row.tile_hits = stats.io.tile_hits;
+    row.tile_misses = stats.io.tile_misses;
     double busy = 0;
     for (double b : result->worker_busy_seconds) busy += b;
     row.worker_busy_fraction =
@@ -158,16 +195,44 @@ int Main(int argc, char** argv) {
     rows.push_back(row);
 
     std::fprintf(stderr,
-                 "workers=%u prefetch=%d wall=%.2fs horiz=%.2fs speedup=%.2fx "
-                 "hit_rate=%.2f busy=%.2f groups=%llu rounds=%llu "
-                 "read=%lluMB written=%lluMB\n",
-                 row.workers, row.prefetch ? 1 : 0, row.wall_seconds,
-                 row.horizontal_seconds, row.speedup, row.prefetch_hit_rate,
+                 "workers=%u prefetch=%d cache=%d wall=%.2fs horiz=%.2fs "
+                 "speedup=%.2fx hit_rate=%.2f depth_hits=%llu "
+                 "tile_hit_rate=%.2f io_amp=%.1fx busy=%.2f groups=%llu "
+                 "rounds=%llu read=%lluMB written=%lluMB\n",
+                 row.workers, row.prefetch ? 1 : 0, row.tile_cache ? 1 : 0,
+                 row.wall_seconds, row.horizontal_seconds, row.speedup,
+                 row.prefetch_hit_rate,
+                 static_cast<unsigned long long>(row.prefetch_depth_hits),
+                 row.tile_hit_rate, row.io_amplification,
                  row.worker_busy_fraction,
                  static_cast<unsigned long long>(row.num_groups),
                  static_cast<unsigned long long>(stats.prepare_rounds),
                  static_cast<unsigned long long>(stats.io.bytes_read >> 20),
                  static_cast<unsigned long long>(stats.io.bytes_written >> 20));
+  }
+
+  // Regression guard (run by CI as a smoke): the cached 1-worker run must
+  // move strictly fewer device bytes than the uncached (--no-tile-cache
+  // equivalent) 1-worker run, or the whole point of the cache is gone.
+  const RunResult* uncached_ref = nullptr;
+  const RunResult* cached_ref = nullptr;
+  for (const RunResult& row : rows) {
+    if (row.workers == 1 && row.prefetch && !row.tile_cache) {
+      uncached_ref = &row;
+    }
+    if (row.workers == 1 && row.prefetch && row.tile_cache) {
+      cached_ref = &row;
+    }
+  }
+  if (uncached_ref == nullptr || cached_ref == nullptr ||
+      cached_ref->io_amplification >= uncached_ref->io_amplification) {
+    std::fprintf(stderr,
+                 "FAIL: cached io_amplification (%.2f) is not below the "
+                 "uncached run's (%.2f)\n",
+                 cached_ref == nullptr ? -1.0 : cached_ref->io_amplification,
+                 uncached_ref == nullptr ? -1.0
+                                         : uncached_ref->io_amplification);
+    return 1;
   }
 
   FILE* out = std::fopen("BENCH_era.json", "w");
@@ -192,16 +257,26 @@ int Main(int argc, char** argv) {
     const RunResult& r = rows[i];
     std::fprintf(
         out,
-        "    {\"workers\": %u, \"prefetch\": %s, \"wall_seconds\": %.3f, "
+        "    {\"workers\": %u, \"prefetch\": %s, \"tile_cache\": %s, "
+        "\"wall_seconds\": %.3f, "
         "\"horizontal_seconds\": %.3f, \"vertical_seconds\": %.3f, "
         "\"mb_per_second\": %.3f, \"speedup_vs_serial\": %.3f, "
+        "\"io_amplification\": %.2f, \"device_read_mb\": %.1f, "
+        "\"tile_hit_rate\": %.3f, \"tile_hits\": %llu, "
+        "\"tile_misses\": %llu, "
         "\"prefetch_hits\": %llu, \"prefetch_misses\": %llu, "
+        "\"prefetch_depth_hits\": %llu, "
         "\"prefetch_hit_rate\": %.3f, \"worker_busy_fraction\": %.3f, "
         "\"groups\": %llu, \"subtrees\": %llu}%s\n",
-        r.workers, r.prefetch ? "true" : "false", r.wall_seconds,
+        r.workers, r.prefetch ? "true" : "false",
+        r.tile_cache ? "true" : "false", r.wall_seconds,
         r.horizontal_seconds, r.vertical_seconds, r.mb_per_second, r.speedup,
+        r.io_amplification, r.device_read_mb, r.tile_hit_rate,
+        static_cast<unsigned long long>(r.tile_hits),
+        static_cast<unsigned long long>(r.tile_misses),
         static_cast<unsigned long long>(r.prefetch_hits),
         static_cast<unsigned long long>(r.prefetch_misses),
+        static_cast<unsigned long long>(r.prefetch_depth_hits),
         r.prefetch_hit_rate, r.worker_busy_fraction,
         static_cast<unsigned long long>(r.num_groups),
         static_cast<unsigned long long>(r.num_subtrees),

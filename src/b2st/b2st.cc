@@ -209,9 +209,15 @@ StatusOr<B2stResult> B2stBuilder::Build(const TextInfo& text) {
       auto lcp_reader_b,
       OpenStringReader(env, text.path, fallback_options, &merge_io));
 
+  // B2ST never opens a build TileCache (one linear pass per partition
+  // pair); plan without the carve so R is not shrunk for nothing.
+  BuildOptions plan_options = options_;
+  plan_options.tile_cache = false;
+  plan_options.prefetch_reads = false;  // nor a prefetch ring
   ERA_ASSIGN_OR_RETURN(MemoryLayout layout,
-                       PlanMemory(options_, text.alphabet.size()));
+                       PlanMemory(plan_options, text.alphabet.size()));
   stats.fm = layout.fm;
+  stats.text_bytes = text.length;
 
   PreparedSubTree current;
   SaEntry prev{};

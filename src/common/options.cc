@@ -27,6 +27,9 @@ Status ValidateBuildOptions(const BuildOptions& options) {
   if (options.input_buffer_bytes < 4096) {
     return Status::InvalidArgument("input_buffer_bytes must be >= 4 KB");
   }
+  if (options.prefetch_reads && options.prefetch_depth == 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 1");
+  }
   return Status::OK();
 }
 

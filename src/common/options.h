@@ -63,11 +63,38 @@ struct BuildOptions {
   /// Skip unneeded blocks with a seek during scans (Section 4.4).
   bool seek_optimization = true;
 
-  /// Double-buffered read-ahead on the sequential scans (vertical counting,
-  /// occurrence scans, SubTreePrepare rounds): a background thread fetches
-  /// the next input-buffer window while the builder consumes the resident
-  /// one, hiding device latency behind compute. See PrefetchingStringReader.
+  /// Ring-buffered read-ahead on the sequential scans (vertical counting,
+  /// occurrence scans, SubTreePrepare rounds): a background thread keeps
+  /// the next input-buffer windows read while the builder consumes the
+  /// resident one, hiding device latency behind compute. See
+  /// PrefetchingStringReader.
   bool prefetch_reads = true;
+
+  /// Speculative windows the prefetch ring keeps ahead of each scan (1 =
+  /// classic double buffering). PlanMemory charges the ring's windows
+  /// against the retrieved-data slack, after the tile cache: a build whose
+  /// cache consumed the slack runs with a shallower ring (possibly none),
+  /// so read-ahead never silently exceeds the budget
+  /// (MemoryLayout::read_ahead_bytes).
+  uint32_t prefetch_depth = 4;
+
+  /// Shared read-through tile cache over the input text (io/tile_cache.h):
+  /// every horizontal-phase reader of every worker is served from one
+  /// process-wide budgeted cache, so repeated scans of the same tiles stop
+  /// hitting the device. The budget is carved out of memory_budget's
+  /// retrieved-data area (the elastic range shrinks accordingly; FM and the
+  /// partition plan are unchanged, so cached and uncached builds emit
+  /// byte-identical indexes). Disabled automatically when the budget is too
+  /// small to spare cache room.
+  bool tile_cache = true;
+
+  /// Total tile-cache budget in bytes across all workers; 0 = auto (each
+  /// worker's share is carved from its R allocation, leaving at least
+  /// max(512 KB, R/8) of elastic-range room, and capped at the per-core
+  /// share of the tile-rounded file size — see PlanMemoryForBuild). An
+  /// explicit budget that does not fit in the retrieved-data area fails
+  /// with OutOfBudget.
+  uint64_t tile_cache_budget_bytes = 0;
 
   /// Directory that receives serialized sub-trees and the index manifest.
   std::string work_dir;

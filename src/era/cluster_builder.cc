@@ -24,12 +24,17 @@ StatusOr<ClusterBuildResult> ClusterBuilder::Build(const TextInfo& text) {
   node_options.memory_budget = cluster_.per_node_budget;
   const bool wavefront = cluster_.algorithm == ParallelAlgorithm::kWaveFront;
   if (wavefront) node_options.group_virtual_trees = false;
+  // The shared-nothing emulation models independent nodes with private
+  // memory; no process-wide TileCache exists here, so plan without the
+  // carve.
+  node_options.tile_cache = false;
 
   ERA_ASSIGN_OR_RETURN(
       MemoryLayout layout,
       wavefront ? PlanMemoryWaveFront(node_options, text.alphabet.size())
                 : PlanMemory(node_options, text.alphabet.size()));
   stats.fm = layout.fm;
+  stats.text_bytes = text.length;
 
   // Master: vertical partitioning (serial, reported separately).
   ERA_ASSIGN_OR_RETURN(PartitionPlan plan,
@@ -70,7 +75,9 @@ StatusOr<ClusterBuildResult> ClusterBuilder::Build(const TextInfo& text) {
         StringReaderOptions reader_options;
         reader_options.buffer_bytes = layout.input_buffer_bytes;
         reader_options.seek_optimization = node_options.seek_optimization;
-        reader_options.prefetch = node_options.prefetch_reads && !wavefront;
+        reader_options.prefetch = layout.read_ahead_bytes > 0 && !wavefront;
+        reader_options.prefetch_depth = static_cast<uint32_t>(
+            layout.read_ahead_bytes / layout.input_buffer_bytes);
         ERA_ASSIGN_OR_RETURN(auto reader,
                              OpenStringReader(env, text.path, reader_options,
                                               &result.node_io[nd]));

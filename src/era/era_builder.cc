@@ -19,8 +19,79 @@ std::string BuildStats::ToString() const {
      << "s horizontal=" << horizontal_seconds << "s) fm=" << fm
      << " groups=" << num_groups << " subtrees=" << num_subtrees
      << " rounds=" << prepare_rounds << " peak_tree=" << peak_tree_bytes
-     << "B io{" << io.ToString() << "}";
+     << "B io_amplification=" << io_amplification()
+     << " tile_hit_rate=" << tile_hit_rate()
+     << " io{" << io.ToString() << "}";
   return os.str();
+}
+
+StatusOr<MemoryLayout> PlanMemoryForBuild(const BuildOptions& options,
+                                          const TextInfo& text,
+                                          unsigned num_workers) {
+  ERA_ASSIGN_OR_RETURN(MemoryLayout layout,
+                       PlanMemory(options, text.alphabet.size()));
+  if (options.tile_cache_budget_bytes != 0 || layout.tile_cache_bytes == 0 ||
+      num_workers == 0) {
+    return layout;
+  }
+  TileCacheOptions defaults;
+  const uint64_t tiles =
+      (text.length + defaults.tile_bytes - 1) / defaults.tile_bytes;
+  // Per-core share of a cache that holds the whole text, rounded up a tile
+  // so the shares still sum past the file size.
+  const uint64_t cap_per_core =
+      std::max<uint64_t>(tiles, 1) * defaults.tile_bytes / num_workers +
+      defaults.tile_bytes;
+  if (layout.tile_cache_bytes <= cap_per_core) return layout;
+  // More workers than the text needs cache: give the excess back to the
+  // elastic range (fewer prepare rounds) instead of hoarding dead budget.
+  BuildOptions capped = options;
+  capped.tile_cache_budget_bytes = cap_per_core;
+  return PlanMemory(capped, text.alphabet.size());
+}
+
+StatusOr<std::shared_ptr<TileCache>> OpenBuildTileCache(
+    Env* env, const TextInfo& text, const MemoryLayout& layout,
+    unsigned num_workers) {
+  if (layout.tile_cache_bytes == 0) {
+    return std::shared_ptr<TileCache>();
+  }
+  TileCacheOptions cache_options;
+  // The cache is shared process-wide: its budget is the sum of the per-core
+  // carves, capped at the (tile-rounded) file size — residency beyond the
+  // whole text buys nothing.
+  const uint64_t tiles =
+      (text.length + cache_options.tile_bytes - 1) / cache_options.tile_bytes;
+  cache_options.budget_bytes =
+      std::min(layout.tile_cache_bytes * num_workers,
+               std::max<uint64_t>(tiles, 1) * cache_options.tile_bytes);
+  // Shards trade lock contention against budget granularity: each shard
+  // strands up to one tile of its share. When the cache cannot hold the
+  // whole file anyway (the partial-residency regime, where every stranded
+  // tile is a per-pass device read), bytes win: use one shard. With the
+  // whole file resident, contention wins: shard by size.
+  const uint64_t rounded_file =
+      std::max<uint64_t>(tiles, 1) * cache_options.tile_bytes;
+  cache_options.shards =
+      cache_options.budget_bytes < rounded_file
+          ? 1
+          : static_cast<uint32_t>(std::clamp<uint64_t>(
+                cache_options.budget_bytes / (4 * cache_options.tile_bytes),
+                1, 8));
+  return TileCache::Open(env, text.path, cache_options);
+}
+
+void FoldTileCacheStats(const std::shared_ptr<TileCache>& cache,
+                        BuildStats* stats) {
+  if (cache == nullptr) return;
+  const TileCache::Snapshot snapshot = cache->stats();
+  stats->io.tile_hits += snapshot.hits;
+  stats->io.tile_misses += snapshot.misses;
+  stats->io.tile_device_bytes += snapshot.device_bytes_read;
+  stats->io.tile_evicted_bytes += snapshot.evicted_bytes;
+  // The cache's loads are the build's only device reads on cache-backed
+  // paths; fold them into the canonical device-read total.
+  stats->io.bytes_read += snapshot.device_bytes_read;
 }
 
 StatusOr<uint64_t> BuildAndEmitPrefix(const BuildOptions& options,
@@ -122,12 +193,18 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
   ERA_RETURN_NOT_OK(options_.GetEnv()->CreateDir(options_.work_dir));
 
   BuildStats stats;
+  stats.text_bytes = text.length;
   ERA_ASSIGN_OR_RETURN(MemoryLayout layout,
-                       PlanMemory(options_, text.alphabet.size()));
+                       PlanMemoryForBuild(options_, text, /*num_workers=*/1));
   stats.fm = layout.fm;
 
-  ERA_ASSIGN_OR_RETURN(PartitionPlan plan,
-                       VerticalPartition(text, options_, layout.fm));
+  ERA_ASSIGN_OR_RETURN(
+      std::shared_ptr<TileCache> tile_cache,
+      OpenBuildTileCache(options_.GetEnv(), text, layout, /*num_workers=*/1));
+
+  ERA_ASSIGN_OR_RETURN(
+      PartitionPlan plan,
+      VerticalPartition(text, options_, layout.fm, tile_cache));
   stats.vertical_seconds = plan.seconds;
   stats.io.Add(plan.io);
   stats.num_groups = plan.groups.size();
@@ -137,7 +214,10 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
   StringReaderOptions reader_options;
   reader_options.buffer_bytes = options_.input_buffer_bytes;
   reader_options.seek_optimization = options_.seek_optimization;
-  reader_options.prefetch = options_.prefetch_reads;
+  reader_options.prefetch = layout.read_ahead_bytes > 0;
+  reader_options.prefetch_depth = static_cast<uint32_t>(
+      layout.read_ahead_bytes / layout.input_buffer_bytes);
+  reader_options.tile_cache = tile_cache;
   IoStats scan_stats;
   ERA_ASSIGN_OR_RETURN(auto reader,
                        OpenStringReader(options_.GetEnv(), text.path,
@@ -152,10 +232,11 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
         std::max(stats.peak_tree_bytes, outputs[g].tree_bytes);
     stats.io.Add(outputs[g].write_io);
   }
-  // A prefetching reader bills its residual speculative window at
+  // A prefetching reader bills its residual speculative windows at
   // destruction; tear it down before aggregating so nothing is lost.
   reader.reset();
   stats.io.Add(scan_stats);
+  FoldTileCacheStats(tile_cache, &stats);
   stats.horizontal_seconds = horizontal_timer.Seconds();
 
   BuildResult result;

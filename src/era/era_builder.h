@@ -29,6 +29,29 @@ struct BuildStats {
   uint64_t num_subtrees = 0;
   uint64_t prepare_rounds = 0;    // sum over groups
   uint64_t peak_tree_bytes = 0;   // max per-group in-memory tree footprint
+  /// Length of the indexed text (terminal included); denominator of
+  /// io_amplification().
+  uint64_t text_bytes = 0;
+
+  /// Device bytes read per text byte — the cost of re-streaming S across
+  /// groups and rounds. io.bytes_read counts only true device transfers
+  /// (tile-cache hits bill cache_served_bytes instead), so this is the
+  /// metric the shared tile cache exists to push down.
+  double io_amplification() const {
+    return text_bytes == 0
+               ? 0.0
+               : static_cast<double>(io.bytes_read) /
+                     static_cast<double>(text_bytes);
+  }
+
+  /// Tile-cache hit rate over all lookups (0 when the cache was off).
+  double tile_hit_rate() const {
+    const uint64_t lookups = io.tile_hits + io.tile_misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(io.tile_hits) /
+                     static_cast<double>(lookups);
+  }
 
   /// Wall time plus the disk model's price for the recorded I/O (see
   /// io/io_stats.h for why benchmarks report this alongside raw wall time).
@@ -97,6 +120,29 @@ Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
                     uint64_t group_id, StringReader* reader,
                     GroupOutput* out,
                     BackgroundSubTreeWriter* writer = nullptr);
+
+/// PlanMemory plus the build-level tile-cache refinement: when the auto
+/// carve exceeds this build's useful per-core share (tile-rounded file size
+/// / num_workers — residency beyond the whole text buys nothing), the plan
+/// is redone with the carve capped and the excess returned to the elastic
+/// range, which directly reduces prepare rounds. FM is unaffected either
+/// way.
+StatusOr<MemoryLayout> PlanMemoryForBuild(const BuildOptions& options,
+                                          const TextInfo& text,
+                                          unsigned num_workers);
+
+/// Opens the process-wide input-text tile cache for a build whose layout
+/// carved `tile_cache_bytes` per core, or returns nullptr when the carve is
+/// zero (cache disabled or budget too small). The budget is the sum of the
+/// per-core carves, capped at the tile-rounded file size.
+StatusOr<std::shared_ptr<TileCache>> OpenBuildTileCache(
+    Env* env, const TextInfo& text, const MemoryLayout& layout,
+    unsigned num_workers);
+
+/// Folds a build tile cache's counters into `stats` (hits/misses/evictions
+/// plus its device reads into io.bytes_read). No-op on nullptr.
+void FoldTileCacheStats(const std::shared_ptr<TileCache>& cache,
+                        BuildStats* stats);
 
 /// Assembles a TreeIndex from per-group outputs plus the partition plan's
 /// direct trie leaves, and saves its manifest into `options.work_dir`.

@@ -22,8 +22,20 @@ namespace era {
 
 /// Resolved allocation of one builder's memory budget.
 struct MemoryLayout {
-  uint64_t input_buffer_bytes = 0;  // B_S
+  uint64_t input_buffer_bytes = 0;  // B_S (the resident scan window)
+  /// Speculative windows of the prefetch ring, carved from the
+  /// retrieved-data slack after the tile cache (whole windows, up to
+  /// input_buffer_bytes * prefetch_depth). Zero disables read-ahead:
+  /// either it was requested off, or the cache consumed the slack —
+  /// charged here so the read path never silently exceeds the budget.
+  uint64_t read_ahead_bytes = 0;
   uint64_t r_buffer_bytes = 0;      // R
+  /// This core's share of the shared input-text tile cache (io/tile_cache.h).
+  /// Carved out of the retrieved-data slack (R above its floor, then the
+  /// trie area above its floor), never out of the tree/processing areas,
+  /// so enabling the cache shrinks the elastic range but leaves FM — and
+  /// with it the partition plan and the emitted index bytes — unchanged.
+  uint64_t tile_cache_bytes = 0;
   uint64_t trie_bytes = 0;          // top-level trie area
   uint64_t tree_area_bytes = 0;     // MTS (sub-tree nodes; hosts I/A/P too)
   uint64_t processing_bytes = 0;    // L + B
@@ -31,8 +43,9 @@ struct MemoryLayout {
   uint64_t fm = 0;
 
   uint64_t total() const {
-    return input_buffer_bytes + r_buffer_bytes + trie_bytes +
-           tree_area_bytes + processing_bytes;
+    return input_buffer_bytes + read_ahead_bytes + r_buffer_bytes +
+           tile_cache_bytes + trie_bytes + tree_area_bytes +
+           processing_bytes;
   }
 };
 

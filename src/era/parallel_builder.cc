@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -27,6 +28,39 @@ std::vector<std::size_t> LptGroupOrder(
     }
     return a < b;
   });
+  return order;
+}
+
+std::vector<std::size_t> TileAffinityOrder(
+    const std::vector<VirtualTree>& groups) {
+  std::vector<std::size_t> lpt = LptGroupOrder(groups);
+  if (lpt.size() <= 2) return lpt;
+  // Greedy footprint chaining over the LPT list: O(G^2) popcounts, trivial
+  // at realistic group counts. Iterating candidates in LPT order makes the
+  // tie-break (equal overlap -> better LPT rank) implicit, so all-equal
+  // masks reproduce LptGroupOrder exactly.
+  std::vector<char> used(groups.size(), 0);
+  std::vector<std::size_t> order;
+  order.reserve(lpt.size());
+  std::size_t current = lpt[0];
+  used[current] = 1;
+  order.push_back(current);
+  for (std::size_t step = 1; step < lpt.size(); ++step) {
+    std::size_t best = lpt.size();
+    int best_overlap = -1;
+    for (std::size_t candidate : lpt) {
+      if (used[candidate]) continue;
+      const int overlap = std::popcount(groups[current].footprint_mask &
+                                        groups[candidate].footprint_mask);
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = candidate;
+      }
+    }
+    current = best;
+    used[current] = 1;
+    order.push_back(current);
+  }
   return order;
 }
 
@@ -60,22 +94,37 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
   ERA_RETURN_NOT_OK(env->CreateDir(options_.work_dir));
 
   BuildStats stats;
+  stats.text_bytes = text.length;
 
   // Memory is divided equally among cores; plan with the per-core share.
   BuildOptions worker_options = options_;
   worker_options.memory_budget = options_.memory_budget / num_workers_;
+  if (options_.tile_cache_budget_bytes > 0) {
+    // An explicit cache budget is the process-wide total, like
+    // memory_budget; PlanMemory carves the per-core share.
+    worker_options.tile_cache_budget_bytes = std::max<uint64_t>(
+        1, options_.tile_cache_budget_bytes / num_workers_);
+  }
   const bool wavefront = algorithm_ == ParallelAlgorithm::kWaveFront;
   if (wavefront) worker_options.group_virtual_trees = false;
 
   ERA_ASSIGN_OR_RETURN(
       MemoryLayout layout,
       wavefront ? PlanMemoryWaveFront(worker_options, text.alphabet.size())
-                : PlanMemory(worker_options, text.alphabet.size()));
+                : PlanMemoryForBuild(worker_options, text, num_workers_));
   stats.fm = layout.fm;
 
+  // One process-wide tile cache serves every worker (and every worker's
+  // prefetch thread): a tile one group's scan loads is a hit for every
+  // group scheduled near it. The WaveFront emulation keeps its modeled
+  // device pattern uncached (PlanMemoryWaveFront never carves).
+  ERA_ASSIGN_OR_RETURN(std::shared_ptr<TileCache> tile_cache,
+                       OpenBuildTileCache(env, text, layout, num_workers_));
+
   // Vertical partitioning is not parallelized (its cost is low; Section 5).
-  ERA_ASSIGN_OR_RETURN(PartitionPlan plan,
-                       VerticalPartition(text, worker_options, layout.fm));
+  ERA_ASSIGN_OR_RETURN(
+      PartitionPlan plan,
+      VerticalPartition(text, worker_options, layout.fm, tile_cache));
   stats.vertical_seconds = plan.seconds;
   stats.io.Add(plan.io);
   stats.num_groups = plan.groups.size();
@@ -100,12 +149,14 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
       /*max_queued_bytes=*/
       std::max<uint64_t>(layout.tree_area_bytes, 4ull << 20));
 
-  // Stage 1: LPT-ordered injection queue + per-worker deques.
+  // Stage 1: injection queue in tile-affinity-refined LPT order (groups
+  // with overlapping text footprints run adjacently and convert each
+  // other's tile-cache misses into hits) + per-worker deques.
   WorkStealingQueue queue(num_workers_);
   {
     std::vector<PipelineTask> seeds;
     seeds.reserve(num_groups);
-    for (std::size_t g : LptGroupOrder(plan.groups)) {
+    for (std::size_t g : TileAffinityOrder(plan.groups)) {
       seeds.push_back({PipelineTask::Kind::kGroup,
                        static_cast<uint32_t>(g), 0});
     }
@@ -128,7 +179,10 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
         StringReaderOptions reader_options;
         reader_options.buffer_bytes = layout.input_buffer_bytes;
         reader_options.seek_optimization = worker_options.seek_optimization;
-        reader_options.prefetch = worker_options.prefetch_reads && !wavefront;
+        reader_options.prefetch = layout.read_ahead_bytes > 0 && !wavefront;
+        reader_options.prefetch_depth = static_cast<uint32_t>(
+            layout.read_ahead_bytes / layout.input_buffer_bytes);
+        if (!wavefront) reader_options.tile_cache = tile_cache;
         ERA_ASSIGN_OR_RETURN(auto reader,
                              OpenStringReader(env, text.path, reader_options,
                                               &worker_io[w]));
@@ -216,6 +270,7 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
 
   for (const IoStats& io : worker_io) stats.io.Add(io);
   stats.io.Add(writer.io());
+  FoldTileCacheStats(tile_cache, &stats);
   for (std::size_t g = 0; g < num_groups; ++g) {
     GroupOutput& output = outputs[g];
     output.tree_bytes +=

@@ -53,6 +53,18 @@ struct ParallelBuildResult {
 /// tests.
 std::vector<std::size_t> LptGroupOrder(const std::vector<VirtualTree>& groups);
 
+/// LPT order refined by tile-footprint affinity: starting from the LPT
+/// head, each next group is the one whose footprint_mask overlaps the
+/// previously scheduled group's the most (ties resolved by LPT rank, so
+/// uniform footprints — e.g. short prefixes over random text — degrade to
+/// exactly the LPT order). Groups that touch the same text regions run
+/// adjacently, so their prepare rounds find each other's tiles still
+/// resident in the shared TileCache instead of re-reading them from the
+/// device. Deterministic; scheduling order never affects the emitted index
+/// bytes. Exposed for tests.
+std::vector<std::size_t> TileAffinityOrder(
+    const std::vector<VirtualTree>& groups);
+
 /// Multicore builder over a shared Env/input file.
 class ParallelBuilder {
  public:

@@ -15,6 +15,7 @@ std::vector<VirtualTree> GroupPrefixes(std::vector<PrefixInfo> prefixes,
     for (auto& p : prefixes) {
       VirtualTree g;
       g.total_frequency = p.frequency;
+      g.footprint_mask = p.footprint_mask;
       g.prefixes.push_back(std::move(p));
       groups.push_back(std::move(g));
     }
@@ -38,12 +39,14 @@ std::vector<VirtualTree> GroupPrefixes(std::vector<PrefixInfo> prefixes,
     VirtualTree group;
     group.prefixes.push_back(prefixes[head]);
     group.total_frequency = prefixes[head].frequency;
+    group.footprint_mask = prefixes[head].footprint_mask;
     used[head] = true;
     for (std::size_t i = head + 1; i < prefixes.size(); ++i) {
       if (used[i]) continue;
       if (group.total_frequency + prefixes[i].frequency <= fm) {
         group.prefixes.push_back(prefixes[i]);
         group.total_frequency += prefixes[i].frequency;
+        group.footprint_mask |= prefixes[i].footprint_mask;
         used[i] = true;
       }
     }
@@ -52,9 +55,9 @@ std::vector<VirtualTree> GroupPrefixes(std::vector<PrefixInfo> prefixes,
   return groups;
 }
 
-StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
-                                          const BuildOptions& options,
-                                          uint64_t fm) {
+StatusOr<PartitionPlan> VerticalPartition(
+    const TextInfo& text, const BuildOptions& options, uint64_t fm,
+    const std::shared_ptr<TileCache>& tile_cache) {
   WallTimer timer;
   PartitionPlan plan;
   const Alphabet& alphabet = text.alphabet;
@@ -63,10 +66,21 @@ StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
   StringReaderOptions reader_options;
   reader_options.buffer_bytes = options.input_buffer_bytes;
   reader_options.seek_optimization = false;  // counting reads everything
+  // This reader (and its prefetch ring) is transient: partitioning runs
+  // before the horizontal phase commits the tree/processing areas, so the
+  // ring lives in memory the plan has not yet spent.
   reader_options.prefetch = options.prefetch_reads;
+  reader_options.prefetch_depth = options.prefetch_depth;
+  reader_options.tile_cache = tile_cache;
   ERA_ASSIGN_OR_RETURN(auto reader,
                        OpenStringReader(options.GetEnv(), text.path,
                                         reader_options, &plan.io));
+
+  // Bucket shift for the 64-slice footprint masks (see PrefixInfo): the
+  // smallest power-of-two slice width that maps every position into
+  // buckets 0..63.
+  uint32_t footprint_shift = 0;
+  while (((text.length - 1) >> footprint_shift) >= 64) ++footprint_shift;
   if (reader->size() != text.length) {
     return Status::InvalidArgument("text length does not match file size");
   }
@@ -90,16 +104,20 @@ StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
     }
     ERA_ASSIGN_OR_RETURN(auto matcher, AhoCorasick::Build(working));
     std::vector<uint64_t> freq(working.size(), 0);
+    std::vector<uint64_t> masks(working.size(), 0);
     ERA_RETURN_NOT_OK(matcher.ScanAll(
-        reader.get(),
-        [&](int32_t id, uint64_t) { ++freq[static_cast<std::size_t>(id)]; }));
+        reader.get(), [&](int32_t id, uint64_t pos) {
+          ++freq[static_cast<std::size_t>(id)];
+          masks[static_cast<std::size_t>(id)] |=
+              uint64_t{1} << (pos >> footprint_shift);
+        }));
 
     std::vector<std::string> next_working;
     for (std::size_t i = 0; i < working.size(); ++i) {
       const std::string& p = working[i];
       if (freq[i] == 0) continue;  // substring absent from S
       if (freq[i] <= fm) {
-        accepted.push_back({p, freq[i]});
+        accepted.push_back({p, freq[i], masks[i]});
         continue;
       }
       // Split: extend by every symbol; the occurrence followed by the

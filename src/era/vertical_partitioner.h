@@ -15,12 +15,14 @@
 #define ERA_ERA_VERTICAL_PARTITIONER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/options.h"
 #include "common/status.h"
 #include "io/io_stats.h"
+#include "io/tile_cache.h"
 #include "text/corpus.h"
 
 namespace era {
@@ -29,12 +31,21 @@ namespace era {
 struct PrefixInfo {
   std::string prefix;
   uint64_t frequency = 0;
+  /// Coarse occupancy of the prefix's occurrences over the text: bit b set
+  /// iff the prefix occurs in the b-th of 64 equal text slices. Computed for
+  /// free during the final counting scan; drives the tile-affinity group
+  /// order (parallel_builder.h), which schedules groups with overlapping
+  /// footprints adjacently so their prepare rounds share tile-cache
+  /// residency.
+  uint64_t footprint_mask = 0;
 };
 
 /// A group of sub-trees processed as one unit (shared scans of S).
 struct VirtualTree {
   std::vector<PrefixInfo> prefixes;
   uint64_t total_frequency = 0;
+  /// Union of the member prefixes' footprint masks.
+  uint64_t footprint_mask = 0;
 };
 
 /// Output of vertical partitioning.
@@ -60,10 +71,12 @@ struct PartitionPlan {
 
 /// Runs Algorithm VerticalPartitioning followed by the grouping heuristic.
 /// If `options.group_virtual_trees` is false every sub-tree gets its own
-/// group (the "without grouping" baseline of Figure 9(a)).
-StatusOr<PartitionPlan> VerticalPartition(const TextInfo& text,
-                                          const BuildOptions& options,
-                                          uint64_t fm);
+/// group (the "without grouping" baseline of Figure 9(a)). When a
+/// `tile_cache` is given the counting scans read through it, warming it for
+/// the horizontal phase.
+StatusOr<PartitionPlan> VerticalPartition(
+    const TextInfo& text, const BuildOptions& options, uint64_t fm,
+    const std::shared_ptr<TileCache>& tile_cache = nullptr);
 
 /// The grouping heuristic alone (exposed for tests): first-fit into groups
 /// from a frequency-descending list.

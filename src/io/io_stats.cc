@@ -12,7 +12,12 @@ std::string IoStats::ToString() const {
      << " batches=" << fetch_batches << " batched_reqs=" << batched_requests
      << " prefetch_hits=" << prefetch_hits
      << " prefetch_misses=" << prefetch_misses
+     << " prefetch_depth_hits=" << prefetch_depth_hits
      << " prefetched=" << prefetched_bytes << "B"
+     << " cache_served=" << cache_served_bytes << "B"
+     << " tile_hits=" << tile_hits << " tile_misses=" << tile_misses
+     << " tile_device=" << tile_device_bytes << "B"
+     << " tile_evicted=" << tile_evicted_bytes << "B"
      << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
      << " cache_evicted=" << cache_evicted_bytes << "B";
   return os.str();

@@ -41,10 +41,28 @@ struct IoStats {
   /// even though prefetching was enabled (first window of a scan, or the
   /// scan jumped outside the predicted next window).
   uint64_t prefetch_misses = 0;
-  /// Bytes transferred by background prefetch reads. Counted into
-  /// bytes_read as well: this is real device traffic, just issued off the
-  /// consuming thread.
+  /// Prefetch hits on windows that were issued while other speculative
+  /// windows were still live in the ring — hits only a prefetch depth > 1
+  /// can produce (see StringReaderOptions::prefetch_depth).
+  uint64_t prefetch_depth_hits = 0;
+  /// Bytes transferred by background prefetch reads. For a device-backed
+  /// reader these are counted into bytes_read as well (real device traffic,
+  /// just issued off the consuming thread); for a cache-backed reader they
+  /// count into cache_served_bytes instead.
   uint64_t prefetched_bytes = 0;
+  /// Reader bytes served out of a shared TileCache (memory copies; the
+  /// cache bills the underlying device traffic into tile_device_bytes).
+  uint64_t cache_served_bytes = 0;
+  /// Tile-cache lookups served from resident tiles (no device traffic).
+  uint64_t tile_hits = 0;
+  /// Tile-cache lookups that loaded the tile from the device.
+  uint64_t tile_misses = 0;
+  /// Bytes the tile cache transferred from the device on misses. The
+  /// builders fold this into bytes_read as well, so bytes_read stays the
+  /// single honest device-read total; this field keeps the attribution.
+  uint64_t tile_device_bytes = 0;
+  /// Bytes of resident tiles dropped by tile-cache budget evictions.
+  uint64_t tile_evicted_bytes = 0;
   /// Sub-tree opens served from the in-memory cache (no device traffic).
   uint64_t cache_hits = 0;
   /// Sub-tree opens that had to load the file from the device.
@@ -65,7 +83,13 @@ struct IoStats {
     batched_requests += other.batched_requests;
     prefetch_hits += other.prefetch_hits;
     prefetch_misses += other.prefetch_misses;
+    prefetch_depth_hits += other.prefetch_depth_hits;
     prefetched_bytes += other.prefetched_bytes;
+    cache_served_bytes += other.cache_served_bytes;
+    tile_hits += other.tile_hits;
+    tile_misses += other.tile_misses;
+    tile_device_bytes += other.tile_device_bytes;
+    tile_evicted_bytes += other.tile_evicted_bytes;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_evicted_bytes += other.cache_evicted_bytes;

@@ -60,7 +60,13 @@ Status StringReader::Refill(uint64_t pos, bool sequential,
   std::size_t got = 0;
   ERA_RETURN_NOT_OK(file_->Read(pos, want, buffer_.data(), &got));
   if (stats_ != nullptr) {
-    stats_->bytes_read += got;
+    // A cache-backed reader copies from resident tiles, not the device; the
+    // TileCache bills the device bytes its misses actually transfer.
+    if (options_.tile_cache != nullptr) {
+      stats_->cache_served_bytes += got;
+    } else {
+      stats_->bytes_read += got;
+    }
     if (sequential || options_.bill_random_as_sequential) {
       ++stats_->sequential_refills;
     } else {
@@ -96,8 +102,16 @@ Status StringReader::FetchInto(uint64_t pos, uint32_t len, char* out,
         uint64_t gap = cur - window_end;
         if (options_.seek_optimization && gap >= options_.skip_threshold_bytes) {
           // Skip the gap with a short seek instead of reading through it.
+          // A device-backed reader loads a full window (the scan continues
+          // and the next actives amortize it — Section 4.4); a cache-backed
+          // reader loads a small one instead: on sparse rounds each skip
+          // landing in a non-resident tile would otherwise bypass-read a
+          // full window from the device, while re-refilling out of resident
+          // tiles costs only a memcpy.
           if (stats_ != nullptr) stats_->bytes_skipped += gap;
-          ERA_RETURN_NOT_OK(Refill(cur, /*sequential=*/false));
+          ERA_RETURN_NOT_OK(Refill(cur, /*sequential=*/false,
+                                   /*full_window=*/options_.tile_cache ==
+                                       nullptr));
         } else {
           // Read through: the scan continues sequentially; intermediate
           // blocks are fetched (and billed) even though they are unneeded.
@@ -200,7 +214,8 @@ PrefetchingStringReader::PrefetchingStringReader(
     std::unique_ptr<RandomAccessFile> file, const StringReaderOptions& options,
     IoStats* stats)
     : StringReader(std::move(file), options, stats) {
-  back_buffer_.resize(buffer_.size());
+  ring_.resize(std::max<uint32_t>(1, options_.prefetch_depth));
+  for (Slot& slot : ring_) slot.data.resize(buffer_.size());
   thread_ = std::thread([this] { PrefetchLoop(); });
 }
 
@@ -212,84 +227,163 @@ PrefetchingStringReader::~PrefetchingStringReader() {
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   // Bill reads the consumer never synchronized on (e.g. the speculative
-  // window past the last refill of a scan) — they did hit the device.
+  // windows past the last refill of a scan) — they did hit the device.
   if (stats_ != nullptr) stats_->Add(background_io_);
+}
+
+int PrefetchingStringReader::FreeSlotLocked() const {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (!ring_[i].valid && !ring_[i].pending) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint32_t PrefetchingStringReader::LiveCountLocked() const {
+  uint32_t live = 0;
+  for (const Slot& slot : ring_) {
+    if (slot.valid || slot.pending) ++live;
+  }
+  return live;
+}
+
+void PrefetchingStringReader::FoldBackgroundIoLocked() {
+  if (stats_ != nullptr) {
+    stats_->Add(background_io_);
+    background_io_ = IoStats();
+  }
+}
+
+void PrefetchingStringReader::IssueSpeculationLocked() {
+  bool issued = false;
+  while (spec_armed_ && next_spec_pos_ < file_->Size()) {
+    const int s = FreeSlotLocked();
+    if (s < 0) break;
+    Slot& slot = ring_[static_cast<std::size_t>(s)];
+    slot.pending = true;
+    slot.start = next_spec_pos_;
+    slot.issued_with_live = LiveCountLocked() - 1;  // everyone but this slot
+    next_spec_pos_ += slot.data.size();
+    issue_queue_.push_back(s);
+    issued = true;
+  }
+  if (issued) cv_.notify_all();
 }
 
 void PrefetchingStringReader::PrefetchLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return shutdown_ || pending_; });
+    cv_.wait(lock, [this] { return shutdown_ || !issue_queue_.empty(); });
     if (shutdown_) return;
-    const uint64_t pos = pending_pos_;
+    const int s = issue_queue_.front();
+    issue_queue_.erase(issue_queue_.begin());
+    Slot& slot = ring_[static_cast<std::size_t>(s)];
+    const uint64_t pos = slot.start;
     lock.unlock();
     std::size_t got = 0;
-    Status s = file_->ReadAt(pos, back_buffer_.size(), back_buffer_.data(),
-                             &got);
+    Status status = file_->ReadAt(pos, slot.data.size(), slot.data.data(),
+                                  &got);
     lock.lock();
-    if (s.ok()) {
-      back_start_ = pos;
-      back_len_ = got;
-      back_valid_ = got > 0;
-      background_io_.bytes_read += got;
+    if (status.ok()) {
+      slot.len = got;
+      slot.valid = got > 0;
+      if (options_.tile_cache != nullptr) {
+        background_io_.cache_served_bytes += got;
+      } else {
+        background_io_.bytes_read += got;
+      }
       background_io_.prefetched_bytes += got;
       ++background_io_.sequential_refills;
     } else {
-      background_status_ = s;
-      back_valid_ = false;
+      background_status_ = status;
+      slot.valid = false;
+      spec_armed_ = false;  // stop speculating until the consumer resolves it
     }
-    pending_ = false;
+    slot.pending = false;
     cv_.notify_all();
   }
-}
-
-void PrefetchingStringReader::StartPrefetchLocked(uint64_t pos) {
-  pending_pos_ = pos;
-  pending_ = true;
-  cv_.notify_all();
 }
 
 Status PrefetchingStringReader::Refill(uint64_t pos, bool sequential,
                                        bool full_window) {
   if (!sequential || !full_window) {
     // Random repositionings (including seek-optimization skips) keep the
-    // base path. The background read (if any) only touches the back
-    // buffer, so it may proceed concurrently; its window stays valid for
-    // when the interrupted scan resumes. A skip also breaks the streak
-    // that re-arms a paused speculation.
+    // base path. Background reads only touch ring slots, so they may
+    // proceed concurrently; their windows stay valid for when the
+    // interrupted scan resumes. A skip also breaks the streak that re-arms
+    // a paused speculation.
     recovery_refills_ = 0;
     return StringReader::Refill(pos, sequential, full_window);
   }
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !pending_; });
-  if (stats_ != nullptr) {
-    stats_->Add(background_io_);
-    background_io_ = IoStats();
-  }
+  FoldBackgroundIoLocked();
   if (!background_status_.ok()) {
     // The speculation failed, but this refill may target a readable
     // window the algorithm actually needs — treat it as a miss and let
     // the foreground read's own status decide. A real device error still
     // fails fast below.
     background_status_ = Status::OK();
-    back_valid_ = false;
+    for (Slot& slot : ring_) {
+      if (!slot.pending) slot.valid = false;
+    }
   }
-  if (back_valid_ && pos >= back_start_ && pos < back_start_ + back_len_) {
-    std::swap(buffer_, back_buffer_);
-    buffer_start_ = back_start_;
-    buffer_len_ = back_len_;
+  // Serve from the ring: wait out an in-flight read of the target window
+  // (the wait is exactly the device overlap the hit measures).
+  int found = -1;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Slot& slot = ring_[i];
+    const uint64_t end =
+        slot.start + (slot.pending ? slot.data.size() : slot.len);
+    if ((slot.valid || slot.pending) && pos >= slot.start && pos < end) {
+      found = static_cast<int>(i);
+      break;
+    }
+  }
+  if (found >= 0 && ring_[static_cast<std::size_t>(found)].pending) {
+    Slot& slot = ring_[static_cast<std::size_t>(found)];
+    cv_.wait(lock, [&slot] { return !slot.pending; });
+    FoldBackgroundIoLocked();
+    if (!slot.valid || pos >= slot.start + slot.len) found = -1;
+    background_status_ = Status::OK();  // a short/failed read falls through
+  }
+  if (found >= 0) {
+    Slot& slot = ring_[static_cast<std::size_t>(found)];
+    std::swap(buffer_, slot.data);
+    buffer_start_ = slot.start;
+    buffer_len_ = slot.len;
     has_window_ = true;
-    back_valid_ = false;
+    slot.valid = false;
     wasted_speculations_ = 0;
     recovery_refills_ = 0;
-    if (stats_ != nullptr) ++stats_->prefetch_hits;
-    if (buffer_start_ + buffer_len_ < file_->Size()) {
-      StartPrefetchLocked(buffer_start_ + buffer_len_);
+    if (stats_ != nullptr) {
+      ++stats_->prefetch_hits;
+      if (slot.issued_with_live > 0) ++stats_->prefetch_depth_hits;
     }
+    // Windows entirely behind the scan can never be consumed now; free
+    // their slots so the ring keeps speculating ahead.
+    for (Slot& stale : ring_) {
+      if (stale.valid && stale.start + stale.len <= pos) stale.valid = false;
+    }
+    spec_armed_ = true;
+    IssueSpeculationLocked();
     return Status::OK();
   }
-  if (back_valid_) ++wasted_speculations_;  // speculated, scan went elsewhere
-  back_valid_ = false;
+
+  // Miss: the scan went somewhere the ring did not speculate. Completed
+  // windows are wasted; discard them, and cancel issued-but-unstarted reads
+  // (a read already in flight finishes and is swept as stale later).
+  bool wasted = false;
+  for (Slot& slot : ring_) {
+    if (slot.valid) {
+      slot.valid = false;
+      wasted = true;
+    }
+  }
+  for (int s : issue_queue_) {
+    ring_[static_cast<std::size_t>(s)].pending = false;
+  }
+  issue_queue_.clear();
+  if (wasted) ++wasted_speculations_;
+  spec_armed_ = false;
   lock.unlock();
   ERA_RETURN_NOT_OK(StringReader::Refill(pos, sequential, full_window));
   if (stats_ != nullptr) ++stats_->prefetch_misses;
@@ -307,7 +401,9 @@ Status PrefetchingStringReader::Refill(uint64_t pos, bool sequential,
   if (!speculate) return Status::OK();
   lock.lock();
   if (buffer_len_ > 0 && buffer_start_ + buffer_len_ < file_->Size()) {
-    StartPrefetchLocked(buffer_start_ + buffer_len_);
+    next_spec_pos_ = buffer_start_ + buffer_len_;
+    spec_armed_ = true;
+    IssueSpeculationLocked();
   }
   return Status::OK();
 }
@@ -315,7 +411,17 @@ Status PrefetchingStringReader::Refill(uint64_t pos, bool sequential,
 StatusOr<std::unique_ptr<StringReader>> OpenStringReader(
     Env* env, const std::string& path, const StringReaderOptions& options,
     IoStats* stats) {
-  ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
+  std::unique_ptr<RandomAccessFile> file;
+  if (options.tile_cache != nullptr) {
+    if (options.tile_cache->path() != path) {
+      return Status::InvalidArgument(
+          "tile cache was opened on '" + options.tile_cache->path() +
+          "', reader on '" + path + "'");
+    }
+    file = NewCachedFile(options.tile_cache);
+  } else {
+    ERA_ASSIGN_OR_RETURN(file, env->OpenRandomAccess(path));
+  }
   if (options.prefetch) {
     return std::unique_ptr<StringReader>(
         new PrefetchingStringReader(std::move(file), options, stats));

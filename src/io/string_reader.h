@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "io/env.h"
 #include "io/io_stats.h"
+#include "io/tile_cache.h"
 
 namespace era {
 
@@ -49,12 +50,24 @@ struct StringReaderOptions {
   /// pattern is sequential volume, not head movement (see
   /// wavefront/wavefront.h).
   bool bill_random_as_sequential = false;
-  /// Double-buffer sequential refills: a background thread reads the next
-  /// window via RandomAccessFile::ReadAt while the builder consumes the
-  /// resident one, hiding device latency behind compute (Section 4.4's
-  /// CPU/I-O overlap argument). OpenStringReader returns a
-  /// PrefetchingStringReader when set.
+  /// Ring-buffer sequential refills: a background thread keeps up to
+  /// `prefetch_depth` upcoming windows read ahead via
+  /// RandomAccessFile::ReadAt while the builder consumes the resident one,
+  /// hiding device latency behind compute (Section 4.4's CPU/I-O overlap
+  /// argument). OpenStringReader returns a PrefetchingStringReader when set.
   bool prefetch = false;
+  /// Number of speculative windows the prefetch ring keeps in flight ahead
+  /// of the scan. 1 is classic double buffering; deeper rings keep the
+  /// background thread streaming continuously instead of ping-ponging with
+  /// the consumer. Hits that only a depth > 1 can produce are counted
+  /// separately (IoStats::prefetch_depth_hits).
+  uint32_t prefetch_depth = 4;
+  /// Shared read-through tile cache (io/tile_cache.h). When set, the reader
+  /// is served from the cache instead of the device: refills bill
+  /// IoStats::cache_served_bytes, and the cache accounts the real device
+  /// traffic its misses cause. The cache must have been opened on the same
+  /// path this reader is opened on.
+  std::shared_ptr<TileCache> tile_cache;
 };
 
 /// One read of a batched fetch. `out` must have room for `len` bytes; `got`
@@ -134,14 +147,16 @@ class StringReader {
   uint64_t scan_pos_ = 0;      // last requested position in this scan
 };
 
-/// StringReader whose sequential refills are double-buffered: while the
-/// builder consumes the resident window, a background thread already reads
-/// the next one through RandomAccessFile::ReadAt. A refill that lands inside
-/// the completed background read swaps buffers instead of touching the
-/// device (an IoStats prefetch hit); anything else — scan restarts, long
-/// seek-optimization skips, random repositionings — falls back to the base
-/// synchronous path. Like StringReader it is single-consumer: only the
-/// internal prefetch thread runs concurrently with the owner.
+/// StringReader whose sequential refills come from a prefetch ring: while
+/// the builder consumes the resident window, a background thread keeps up
+/// to `prefetch_depth` upcoming windows read ahead through
+/// RandomAccessFile::ReadAt. A refill that lands inside a completed ring
+/// slot swaps buffers instead of touching the device (an IoStats prefetch
+/// hit — a depth hit when the slot was issued alongside other live slots);
+/// anything else — scan restarts, long seek-optimization skips, random
+/// repositionings — falls back to the base synchronous path. Like
+/// StringReader it is single-consumer: only the internal prefetch thread
+/// runs concurrently with the owner.
 class PrefetchingStringReader : public StringReader {
  public:
   PrefetchingStringReader(std::unique_ptr<RandomAccessFile> file,
@@ -152,32 +167,54 @@ class PrefetchingStringReader : public StringReader {
   Status Refill(uint64_t pos, bool sequential, bool full_window) override;
 
  private:
+  /// One speculative window. `data` is written by the prefetch thread only
+  /// while `pending`; the consumer touches it only after `pending` cleared
+  /// under mu_ (the mutex publishes the bytes).
+  struct Slot {
+    std::vector<char> data;
+    uint64_t start = 0;
+    uint64_t len = 0;
+    bool valid = false;    // completed, unconsumed
+    bool pending = false;  // background read in flight
+    /// Live (valid or pending) slots when this read was issued; > 0 marks a
+    /// window only a depth > 1 ring would have speculated this early.
+    uint32_t issued_with_live = 0;
+  };
+
   void PrefetchLoop();
-  /// Starts a background read of the window at `pos`. Caller holds mu_ and
-  /// has verified no request is pending.
-  void StartPrefetchLocked(uint64_t pos);
+  /// Index of a free ring slot, or -1. Caller holds mu_.
+  int FreeSlotLocked() const;
+  /// Number of valid or pending slots. Caller holds mu_.
+  uint32_t LiveCountLocked() const;
+  /// Folds background_io_ into stats_. Caller holds mu_.
+  void FoldBackgroundIoLocked();
+  /// Marks free slots pending for the next speculative windows and queues
+  /// them for the prefetch thread. Issuing on the CONSUMER side is what
+  /// makes the ring effective on a busy host: the very next refill already
+  /// has a pending slot to wait on (the wait is the measured overlap),
+  /// instead of hoping the background thread won a timeslice in between.
+  /// Caller holds mu_.
+  void IssueSpeculationLocked();
 
   // Adaptive speculation throttle (consumer-thread-only state): on
   // seek-optimized sparse scans every skip discards the in-flight
-  // speculative window, so after `kMaxWastedSpeculations` consecutive
-  // wasted windows speculation pauses until the access pattern proves
+  // speculative windows, so after `kMaxWastedSpeculations` consecutive
+  // wasted rounds speculation pauses until the access pattern proves
   // sequential again (`kRecoveryRefills` uninterrupted sequential refills).
   static constexpr uint32_t kMaxWastedSpeculations = 2;
   static constexpr uint32_t kRecoveryRefills = 2;
   uint32_t wasted_speculations_ = 0;
   uint32_t recovery_refills_ = 0;
 
-  // All fields below mu_ are shared with the prefetch thread. The back
-  // buffer itself is only touched by the consumer when no request is
-  // pending, and only by the prefetch thread while one is.
+  // All fields below mu_ are shared with the prefetch thread.
   std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<char> back_buffer_;
-  uint64_t back_start_ = 0;
-  uint64_t back_len_ = 0;
-  bool back_valid_ = false;
-  bool pending_ = false;
-  uint64_t pending_pos_ = 0;
+  std::vector<Slot> ring_;
+  /// Slots issued but not yet executed, in issue (= position) order.
+  std::vector<int> issue_queue_;
+  /// Next window to speculate on, when armed.
+  uint64_t next_spec_pos_ = 0;
+  bool spec_armed_ = false;
   bool shutdown_ = false;
   Status background_status_;
   /// Traffic performed by the background thread; folded into stats_ by the

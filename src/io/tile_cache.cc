@@ -1,0 +1,293 @@
+#include "io/tile_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace era {
+
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+TileCache::TileCache(std::unique_ptr<RandomAccessFile> file, std::string path,
+                     const TileCacheOptions& options)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      options_(options),
+      file_size_(file_->Size()),
+      per_shard_budget_(options.budget_bytes /
+                        (options.shards == 0 ? 1 : options.shards)),
+      shards_(options.shards == 0 ? 1 : options.shards) {}
+
+StatusOr<std::shared_ptr<TileCache>> TileCache::Open(
+    Env* env, const std::string& path, const TileCacheOptions& options) {
+  if (!IsPowerOfTwo(options.tile_bytes) || options.tile_bytes < 4096) {
+    return Status::InvalidArgument(
+        "tile_bytes must be a power of two >= 4 KiB");
+  }
+  if (options.budget_bytes == 0) {
+    return Status::InvalidArgument("tile cache budget must be positive");
+  }
+  ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
+  return std::shared_ptr<TileCache>(
+      new TileCache(std::move(file), path, options));
+}
+
+void TileCache::AgeLocked(Shard* shard) {
+  // Aging period: long enough that the scan-resistant resident set stays
+  // frozen across many full passes, short enough that a genuinely shifted
+  // working set can displace it. Counts halve, so a tile needs fresh
+  // touches to stay eviction-proof.
+  const uint64_t capacity_tiles =
+      std::max<uint64_t>(1, per_shard_budget_ / options_.tile_bytes);
+  if (++shard->lookup_tick < 32 * capacity_tiles) return;
+  shard->lookup_tick = 0;
+  for (auto& [index, entry] : shard->entries) {
+    entry.access_count /= 2;
+  }
+}
+
+bool TileCache::RoomPossibleLocked(const Shard& shard, uint64_t index,
+                                   uint64_t bytes) const {
+  // Non-mutating twin of MakeRoomLocked, used for the pre-load admission
+  // decision: nothing is evicted until the device read has actually
+  // succeeded (a failed load must not cost resident tiles).
+  if (shard.entries.empty()) return true;
+  uint64_t reclaimable = 0;
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+    if (shard.resident_bytes - reclaimable + bytes <= per_shard_budget_) {
+      break;
+    }
+    auto victim = shard.entries.find(*it);
+    const bool evictable =
+        victim->second.access_count == 0 ||
+        (victim->second.access_count <= 1 && *it > index);
+    if (evictable) reclaimable += victim->second.tile->data.size();
+  }
+  return shard.resident_bytes - reclaimable + bytes <= per_shard_budget_;
+}
+
+bool TileCache::MakeRoomLocked(Shard* shard, uint64_t index, uint64_t bytes) {
+  // Scan-resistant admission. A cyclic scan of a file larger than the
+  // budget is LRU's worst case: every tile is evicted moments before its
+  // next use, for 0% reuse. A resident tile is therefore evictable only if
+  //   * its access count aged to 0 (provably cold — lets a genuinely
+  //     shifted working set displace the old one), or
+  //   * it is touch-count-cold (<= 1) AND lies deeper in the file than the
+  //     newcomer — for cyclic scans this deterministically freezes a prefix
+  //     of the cycle, which is as good as any fixed subset can do (Belady),
+  //     and converts that fraction of every later pass into hits.
+  // Otherwise the newcomer is not admitted; ReadAt then reads only the
+  // requested span from the device, so a miss never costs more than the
+  // same read would have cost without the cache.
+  for (auto it = shard->lru.rbegin();
+       it != shard->lru.rend() &&
+       shard->resident_bytes + bytes > per_shard_budget_;) {
+    const uint64_t victim_index = *it;
+    auto victim = shard->entries.find(victim_index);
+    const bool evictable =
+        victim->second.access_count == 0 ||
+        (victim->second.access_count <= 1 && victim_index > index);
+    if (!evictable) {
+      ++it;
+      continue;
+    }
+    shard->resident_bytes -= victim->second.tile->data.size();
+    ++shard->evictions;
+    shard->evicted_bytes += victim->second.tile->data.size();
+    shard->entries.erase(victim);
+    // Erase via the forward iterator corresponding to this reverse one.
+    it = std::make_reverse_iterator(shard->lru.erase(std::next(it).base()));
+  }
+  // A shard always admits its first tile, however tight the budget (the
+  // "never below one resident entry" grace of the sub-tree cache).
+  return shard->resident_bytes + bytes <= per_shard_budget_ ||
+         shard->entries.empty();
+}
+
+StatusOr<std::shared_ptr<const CachedTile>> TileCache::LoadAndMaybeAdmit(
+    uint64_t index, bool admit) {
+  const uint64_t offset = index * static_cast<uint64_t>(options_.tile_bytes);
+  // Load outside any lock: concurrent misses on the same tile may read it
+  // more than once; at most one copy is retained.
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<uint64_t>(options_.tile_bytes, file_size_ - offset));
+  auto tile = std::make_shared<CachedTile>();
+  tile->data.resize(want);
+  std::size_t got = 0;
+  ERA_RETURN_NOT_OK(file_->ReadAt(offset, want, tile->data.data(), &got));
+  tile->data.resize(got);
+  device_bytes_read_.fetch_add(got, std::memory_order_relaxed);
+  if (got == 0 || !admit) {
+    return std::shared_ptr<const CachedTile>(tile);
+  }
+  Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(index);
+  if (it != shard.entries.end()) {
+    // Raced with another loader; keep the retained copy, discard ours.
+    return it->second.tile;
+  }
+  // The room made before the load may have been refilled by a racer;
+  // re-check rather than exceed the budget.
+  if (!MakeRoomLocked(&shard, index, tile->data.size())) {
+    ++shard.bypasses;
+    return std::shared_ptr<const CachedTile>(tile);
+  }
+  shard.lru.push_front(index);
+  shard.entries[index] =
+      Shard::Entry{tile, shard.lru.begin(), /*access_count=*/1};
+  shard.resident_bytes += tile->data.size();
+  return std::shared_ptr<const CachedTile>(tile);
+}
+
+StatusOr<std::shared_ptr<const CachedTile>> TileCache::GetTile(
+    uint64_t index) {
+  const uint64_t offset = index * static_cast<uint64_t>(options_.tile_bytes);
+  if (offset >= file_size_) {
+    return std::shared_ptr<const CachedTile>(std::make_shared<CachedTile>());
+  }
+  Shard& shard = ShardFor(index);
+  bool admit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    AgeLocked(&shard);
+    auto it = shard.entries.find(index);
+    if (it != shard.entries.end()) {
+      ++shard.hits;
+      ++it->second.access_count;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+      return it->second.tile;
+    }
+    ++shard.misses;
+    const uint64_t bytes =
+        std::min<uint64_t>(options_.tile_bytes, file_size_ - offset);
+    admit = RoomPossibleLocked(shard, index, bytes);
+    if (!admit) ++shard.bypasses;
+  }
+  // GetTile's contract is a full pinned tile, so even a bypass loads the
+  // whole tile; the span-granular bypass lives in ReadAt.
+  return LoadAndMaybeAdmit(index, admit);
+}
+
+Status TileCache::ReadAt(uint64_t offset, std::size_t n, char* scratch,
+                         std::size_t* out_n) {
+  *out_n = 0;
+  if (offset >= file_size_) return Status::OK();
+  n = static_cast<std::size_t>(
+      std::min<uint64_t>(n, file_size_ - offset));
+  std::size_t written = 0;
+  while (written < n) {
+    const uint64_t pos = offset + written;
+    const uint64_t index = pos / options_.tile_bytes;
+    const uint64_t tile_start = index * options_.tile_bytes;
+    const uint64_t in_tile = pos - tile_start;
+    const uint64_t tile_len =
+        std::min<uint64_t>(options_.tile_bytes, file_size_ - tile_start);
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<uint64_t>(tile_len - in_tile, n - written));
+
+    Shard& shard = ShardFor(index);
+    std::shared_ptr<const CachedTile> tile;
+    bool admit = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      AgeLocked(&shard);
+      auto it = shard.entries.find(index);
+      if (it != shard.entries.end()) {
+        ++shard.hits;
+        ++it->second.access_count;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+        tile = it->second.tile;  // pin; copy happens outside the lock
+      } else {
+        ++shard.misses;
+        admit = RoomPossibleLocked(shard, index, tile_len);
+        if (!admit) ++shard.bypasses;
+      }
+    }
+    if (tile == nullptr && admit) {
+      ERA_ASSIGN_OR_RETURN(tile, LoadAndMaybeAdmit(index, /*admit=*/true));
+    }
+    if (tile != nullptr) {
+      if (in_tile >= tile->data.size()) {
+        return Status::Internal("tile cache read past tile content");
+      }
+      std::memcpy(scratch + written, tile->data.data() + in_tile, take);
+      written += take;
+      continue;
+    }
+    // Bypass: the admission policy kept this tile out, so read exactly the
+    // requested span — a miss must never amplify the device traffic the
+    // uncached path would have produced.
+    std::size_t got = 0;
+    ERA_RETURN_NOT_OK(file_->ReadAt(pos, take, scratch + written, &got));
+    device_bytes_read_.fetch_add(got, std::memory_order_relaxed);
+    if (got < take) {
+      return Status::Internal("tile cache bypass read came back short");
+    }
+    written += got;
+  }
+  *out_n = written;
+  return Status::OK();
+}
+
+void TileCache::EvictAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.lru.clear();
+    shard.resident_bytes = 0;
+  }
+}
+
+TileCache::Snapshot TileCache::stats() const {
+  Snapshot snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    snapshot.hits += shard.hits;
+    snapshot.misses += shard.misses;
+    snapshot.evictions += shard.evictions;
+    snapshot.evicted_bytes += shard.evicted_bytes;
+    snapshot.bypasses += shard.bypasses;
+    snapshot.resident_bytes += shard.resident_bytes;
+    snapshot.resident_tiles += shard.entries.size();
+  }
+  snapshot.device_bytes_read =
+      device_bytes_read_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+namespace {
+
+class CachedFile : public RandomAccessFile {
+ public:
+  explicit CachedFile(std::shared_ptr<TileCache> cache)
+      : cache_(std::move(cache)) {}
+
+  Status Read(uint64_t offset, std::size_t n, char* scratch,
+              std::size_t* out_n) const override {
+    return cache_->ReadAt(offset, n, scratch, out_n);
+  }
+
+  Status ReadAt(uint64_t offset, std::size_t n, char* scratch,
+                std::size_t* out_n) const override {
+    return cache_->ReadAt(offset, n, scratch, out_n);
+  }
+
+  uint64_t Size() const override { return cache_->file_size(); }
+
+ private:
+  std::shared_ptr<TileCache> cache_;
+};
+
+}  // namespace
+
+std::unique_ptr<RandomAccessFile> NewCachedFile(
+    std::shared_ptr<TileCache> cache) {
+  return std::make_unique<CachedFile>(std::move(cache));
+}
+
+}  // namespace era

@@ -44,7 +44,8 @@ int Usage() {
       "usage:\n"
       "  era_cli build  <text-file> <index-dir> [--budget-mb N]\n"
       "                 [--alphabet dna|protein|english] [--threads N]\n"
-      "                 [--algorithm era|wavefront]\n"
+      "                 [--algorithm era|wavefront] [--cache-budget MB]\n"
+      "                 [--no-tile-cache]\n"
       "  era_cli query  <index-dir> <pattern> [--limit N]\n"
       "  era_cli stats  <index-dir>\n"
       "  era_cli verify <index-dir>\n"
@@ -98,6 +99,12 @@ int CmdBuild(const std::vector<std::string>& args) {
   unsigned threads = static_cast<unsigned>(
       std::strtoul(FlagValue(args, "--threads", "1").c_str(), nullptr, 10));
   std::string algorithm = FlagValue(args, "--algorithm", "era");
+  uint64_t cache_budget_mb = std::strtoull(
+      FlagValue(args, "--cache-budget", "0").c_str(), nullptr, 10);
+  bool tile_cache = true;
+  for (const std::string& arg : args) {
+    if (arg == "--no-tile-cache") tile_cache = false;
+  }
 
   // Ensure the text ends with the terminal.
   std::string text;
@@ -123,6 +130,8 @@ int CmdBuild(const std::vector<std::string>& args) {
   BuildOptions options;
   options.work_dir = index_dir;
   options.memory_budget = budget;
+  options.tile_cache = tile_cache;
+  options.tile_cache_budget_bytes = cache_budget_mb << 20;
 
   BuildStats stats;
   if (algorithm == "wavefront" && threads <= 1) {
@@ -145,6 +154,25 @@ int CmdBuild(const std::vector<std::string>& args) {
     stats = result->stats;
   }
   std::printf("%s\n", stats.ToString().c_str());
+  const uint64_t refills = stats.io.prefetch_hits + stats.io.prefetch_misses;
+  std::printf(
+      "io: amplification=%.2fx (%llu MB device reads / %llu MB text)\n"
+      "prefetch: hit_rate=%.3f (%llu hits, %llu depth hits, %llu misses)  "
+      "tile cache: hit_rate=%.3f (%llu hits, %llu misses, %llu MB from "
+      "device, %llu MB evicted)\n",
+      stats.io_amplification(),
+      static_cast<unsigned long long>(stats.io.bytes_read >> 20),
+      static_cast<unsigned long long>(stats.text_bytes >> 20),
+      refills == 0 ? 0.0
+                   : static_cast<double>(stats.io.prefetch_hits) / refills,
+      static_cast<unsigned long long>(stats.io.prefetch_hits),
+      static_cast<unsigned long long>(stats.io.prefetch_depth_hits),
+      static_cast<unsigned long long>(stats.io.prefetch_misses),
+      stats.tile_hit_rate(),
+      static_cast<unsigned long long>(stats.io.tile_hits),
+      static_cast<unsigned long long>(stats.io.tile_misses),
+      static_cast<unsigned long long>(stats.io.tile_device_bytes >> 20),
+      static_cast<unsigned long long>(stats.io.tile_evicted_bytes >> 20));
   return 0;
 }
 

@@ -216,9 +216,16 @@ StatusOr<BuildResult> TrellisBuilder::Build(const TextInfo& text) {
   const std::string& s = packed_text;
   const uint64_t n = text.length;
 
+  // TRELLIS never opens a build TileCache (its merge phase is semi-disk-
+  // based random access); plan without the carve so R is not shrunk for a
+  // cache that would go unused.
+  BuildOptions plan_options = options_;
+  plan_options.tile_cache = false;
+  plan_options.prefetch_reads = false;  // nor a prefetch ring
   ERA_ASSIGN_OR_RETURN(MemoryLayout layout,
-                       PlanMemory(options_, text.alphabet.size()));
+                       PlanMemory(plan_options, text.alphabet.size()));
   stats.fm = layout.fm;
+  stats.text_bytes = text.length;
 
   // Global prefix set (computed in memory; TRELLIS derives its prefixes in
   // a preprocessing pass).

@@ -214,6 +214,7 @@ StatusOr<BuildResult> WaveFrontBuilder::Build(const TextInfo& text) {
   ERA_ASSIGN_OR_RETURN(MemoryLayout layout,
                        PlanMemoryWaveFront(options_, text.alphabet.size()));
   stats.fm = layout.fm;
+  stats.text_bytes = text.length;
 
   BuildOptions partition_options = options_;
   partition_options.group_virtual_trees = false;

@@ -39,12 +39,77 @@ TEST(MemoryLayoutTest, AreasSumToBudgetAndFmPositive) {
   ASSERT_TRUE(layout.ok());
   EXPECT_LE(layout->total(), options.memory_budget);
   EXPECT_GT(layout->fm, 0u);
-  // Tree area is ~60% of what remains after the fixed buffers (Figure 6).
+  // Tree area is ~60% of what remains after the fixed buffers (Figure 6);
+  // the tile-cache carve and the prefetch ring are part of the fixed
+  // retrieved-data area.
   uint64_t remaining = options.memory_budget - layout->input_buffer_bytes -
-                       layout->r_buffer_bytes - layout->trie_bytes;
+                       layout->read_ahead_bytes - layout->r_buffer_bytes -
+                       layout->tile_cache_bytes - layout->trie_bytes;
   EXPECT_NEAR(static_cast<double>(layout->tree_area_bytes),
               0.6 * static_cast<double>(remaining),
               0.01 * static_cast<double>(remaining));
+}
+
+TEST(MemoryLayoutTest, TileCacheCarveComesFromRAndPreservesFm) {
+  BuildOptions uncached;
+  uncached.work_dir = "/w";
+  uncached.memory_budget = 64 << 20;
+  uncached.tile_cache = false;
+  BuildOptions cached = uncached;
+  cached.tile_cache = true;
+  auto plain = PlanMemory(uncached, 4);
+  auto carved = PlanMemory(cached, 4);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(carved.ok());
+  EXPECT_EQ(plain->tile_cache_bytes, 0u);
+  EXPECT_GT(carved->tile_cache_bytes, 0u);
+  // The carve comes out of the retrieved-data area (R/trie slack, shared
+  // with the prefetch ring) alone...
+  EXPECT_EQ(carved->r_buffer_bytes + carved->trie_bytes +
+                carved->tile_cache_bytes + carved->read_ahead_bytes,
+            plain->r_buffer_bytes + plain->trie_bytes +
+                plain->read_ahead_bytes);
+  EXPECT_GE(carved->r_buffer_bytes, 512u << 10);  // elastic-range floor
+  EXPECT_GE(carved->trie_bytes, 64u << 10);       // trie floor
+  // ...so FM, the tree area, and the processing area — everything the
+  // partition plan (and with it the emitted index bytes) depends on — are
+  // identical between cached and uncached builds.
+  EXPECT_EQ(carved->fm, plain->fm);
+  EXPECT_EQ(carved->tree_area_bytes, plain->tree_area_bytes);
+  EXPECT_EQ(carved->processing_bytes, plain->processing_bytes);
+  EXPECT_EQ(carved->total(), plain->total());
+}
+
+TEST(MemoryLayoutTest, ExplicitTileCacheBudgetHonoredOrRejected) {
+  BuildOptions options;
+  options.work_dir = "/w";
+  options.memory_budget = 64 << 20;
+  options.tile_cache = true;
+  options.tile_cache_budget_bytes = 1 << 20;
+  auto layout = PlanMemory(options, 4);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout->tile_cache_bytes, uint64_t{1} << 20);
+
+  // A budget that would squeeze R below its floor is a configuration
+  // error, not a silent over-commit.
+  options.tile_cache_budget_bytes = 1ull << 30;
+  auto too_big = PlanMemory(options, 4);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_TRUE(too_big.status().IsOutOfBudget());
+}
+
+TEST(MemoryLayoutTest, TinyBudgetDisablesTileCacheInsteadOfFailing) {
+  BuildOptions options;
+  options.work_dir = "/w";
+  options.memory_budget = 1 << 20;
+  options.tile_cache = true;
+  auto layout = PlanMemory(options, 4);
+  ASSERT_TRUE(layout.ok()) << layout.status().ToString();
+  // R at this scale is already at its floor; the auto carve backs off to
+  // zero (builders then skip cache creation) rather than starving the
+  // elastic range.
+  EXPECT_EQ(layout->tile_cache_bytes, 0u);
+  EXPECT_GT(layout->fm, 0u);
 }
 
 TEST(MemoryLayoutTest, FmScalesWithBudget) {

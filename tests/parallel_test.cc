@@ -136,6 +136,69 @@ TEST(ParallelBuilderTest, LptOrderSortsGroupsByDescendingFrequency) {
   }
 }
 
+TEST(ParallelBuilderTest, TileAffinityOrderChainsOverlappingFootprints) {
+  // Four groups: two live in the first half of the text, two in the second.
+  // Affinity must schedule same-half groups adjacently so the shared tile
+  // cache serves the second of each pair, while the LPT head still leads.
+  std::vector<VirtualTree> groups(4);
+  groups[0].total_frequency = 1000;
+  groups[0].footprint_mask = 0x00000000FFFFFFFFull;  // first half
+  groups[1].total_frequency = 900;
+  groups[1].footprint_mask = 0xFFFFFFFF00000000ull;  // second half
+  groups[2].total_frequency = 800;
+  groups[2].footprint_mask = 0x00000000FFFF0000ull;  // first half
+  groups[3].total_frequency = 700;
+  groups[3].footprint_mask = 0xFFFF000000000000ull;  // second half
+  std::vector<std::size_t> order = TileAffinityOrder(groups);
+  // LPT head (group 0) first; its half-mate (2) next; then the other half
+  // pair in LPT order.
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 2, 1, 3}));
+}
+
+TEST(ParallelBuilderTest, TileAffinityOrderDegradesToLptOnUniformMasks) {
+  // Short prefixes over random text occur everywhere: every mask is the
+  // same, so the refinement must reproduce the LPT order exactly (this is
+  // what keeps the committed DNA bench schedule comparable across PRs).
+  std::vector<VirtualTree> groups(5);
+  const uint64_t everywhere = ~uint64_t{0};
+  groups[0].total_frequency = 10;
+  groups[1].total_frequency = 500;
+  groups[2].total_frequency = 10;
+  groups[3].total_frequency = 90000;
+  groups[4].total_frequency = 4000;
+  for (auto& g : groups) g.footprint_mask = everywhere;
+  EXPECT_EQ(TileAffinityOrder(groups), LptGroupOrder(groups));
+}
+
+TEST(ParallelBuilderTest, PartitionPlanCarriesFootprintMasks) {
+  auto w = MakeWorkload(30000, 61);
+  BuildOptions options = BaseOptions(&w->env, "/fp");
+  options.memory_budget = 1 << 20;
+  auto layout = PlanMemory(options, w->info.alphabet.size());
+  ASSERT_TRUE(layout.ok());
+  auto plan = VerticalPartition(w->info, options, layout->fm);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_GT(plan->groups.size(), 1u);
+  for (const VirtualTree& group : plan->groups) {
+    EXPECT_NE(group.footprint_mask, 0u)
+        << "every group occurs somewhere, so its mask cannot be empty";
+    uint64_t union_of_members = 0;
+    for (const PrefixInfo& p : group.prefixes) {
+      EXPECT_NE(p.footprint_mask, 0u) << p.prefix;
+      union_of_members |= p.footprint_mask;
+    }
+    EXPECT_EQ(group.footprint_mask, union_of_members);
+  }
+  // The affinity order is a permutation of all groups.
+  std::vector<std::size_t> order = TileAffinityOrder(plan->groups);
+  std::vector<char> seen(plan->groups.size(), 0);
+  for (std::size_t g : order) {
+    ASSERT_LT(g, seen.size());
+    EXPECT_FALSE(seen[g]);
+    seen[g] = 1;
+  }
+}
+
 TEST(ParallelBuilderTest, LptOrderMatchesRealPartitionPlan) {
   // End-to-end: the order fed to the queue for a real plan is monotonically
   // non-increasing in total_frequency.

@@ -270,6 +270,94 @@ TEST(PipelineDeterminismTest, ByteIdenticalIndexOnMemEnv) {
   CheckDeterminismOn(&env, "/det");
 }
 
+/// Cached vs uncached builds must emit byte-identical indexes at every
+/// worker count: the tile-cache carve changes only the elastic range (the
+/// algorithm's convergence point is range-independent), never FM or the
+/// partition plan, and the cache returns exactly the file's bytes.
+void CheckCachedUncachedIdentity(Env* env, const std::string& root) {
+  std::string text = testing::RepetitiveText(Alphabet::Dna(), 24000, 91);
+  auto info = MaterializeText(env, root + "/text", Alphabet::Dna(), text);
+  ASSERT_TRUE(info.ok());
+
+  // An explicit R large enough to carve from (the auto R at this tiny
+  // budget sits at the carve floor, which disables the cache). Identical
+  // in the cached and uncached builds so the fixed areas — and FM — match.
+  constexpr uint64_t kTestRBuffer = 1 << 20;
+
+  BuildOptions uncached_options = DetOptions(env, root + "/ref",
+                                             kSerialBudget);
+  uncached_options.r_buffer_bytes = kTestRBuffer;
+  uncached_options.tile_cache = false;
+  EraBuilder uncached(uncached_options);
+  auto uncached_result = uncached.Build(*info);
+  ASSERT_TRUE(uncached_result.ok()) << uncached_result.status().ToString();
+  EXPECT_EQ(uncached_result->stats.io.tile_hits, 0u);
+  EXPECT_EQ(uncached_result->stats.io.tile_misses, 0u);
+  auto reference = IndexBytes(env, uncached_result->index, root + "/ref");
+  ASSERT_FALSE(reference.empty());
+
+  for (unsigned workers : {1u, 2u, 7u}) {
+    std::string dir = root + "/cw" + std::to_string(workers);
+    BuildOptions options = DetOptions(env, dir, kSerialBudget * workers);
+    options.r_buffer_bytes = kTestRBuffer;
+    ASSERT_TRUE(options.tile_cache) << "tile cache must default on";
+    ParallelBuilder builder(options, workers);
+    auto result = builder.Build(*info);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->stats.io.tile_hits, 0u) << workers << " workers";
+    // The cache's whole point: strictly fewer device bytes than the
+    // uncached reference moved, while producing the same tree.
+    EXPECT_LT(result->stats.io.bytes_read,
+              uncached_result->stats.io.bytes_read)
+        << workers << " workers";
+    EXPECT_GT(result->stats.io.cache_served_bytes, 0u);
+    auto files = IndexBytes(env, result->index, dir);
+    ASSERT_EQ(files.size(), reference.size()) << workers << " workers";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      EXPECT_EQ(files[i].first, reference[i].first) << workers << " workers";
+      EXPECT_TRUE(files[i].second == reference[i].second)
+          << "file " << files[i].first << " diverged from the uncached "
+          << "reference at " << workers << " workers";
+    }
+  }
+}
+
+TEST(PipelineDeterminismTest, CachedMatchesUncachedOnMemEnv) {
+  MemEnv env;
+  CheckCachedUncachedIdentity(&env, "/cvu");
+}
+
+TEST(PipelineDeterminismTest, CachedMatchesUncachedOnPosixEnv) {
+  std::string root = "/tmp/era_pipeline_cvu_" + std::to_string(::getpid());
+  Env* env = GetDefaultEnv();
+  ASSERT_TRUE(env->CreateDir(root).ok());
+  CheckCachedUncachedIdentity(env, root);
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+}
+
+TEST(PipelineTest, TileCacheStatsSurfaceInBuildStats) {
+  MemEnv env;
+  std::string text = testing::RepetitiveText(Alphabet::Dna(), 30000, 92);
+  auto info = MaterializeText(&env, "/text", Alphabet::Dna(), text);
+  ASSERT_TRUE(info.ok());
+  BuildOptions options = DetOptions(&env, "/tc", 4 << 20);
+  options.r_buffer_bytes = 1 << 20;  // room for the carve at this budget
+  ParallelBuilder builder(options, 2);
+  auto result = builder.Build(*info);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BuildStats& stats = result->stats;
+  EXPECT_EQ(stats.text_bytes, info->length);
+  EXPECT_GT(stats.io.tile_hits, 0u);
+  EXPECT_GT(stats.io.tile_device_bytes, 0u);
+  EXPECT_GT(stats.tile_hit_rate(), 0.0);
+  EXPECT_GT(stats.io_amplification(), 0.0);
+  // The whole text fits in the cache at this scale, so device reads are
+  // bounded by a couple of passes while logical traffic is far larger.
+  EXPECT_LT(stats.io.bytes_read, stats.io.cache_served_bytes);
+  EXPECT_TRUE(testing::IndexMatchesOracle(&env, result->index, text));
+}
+
 TEST(PipelineDeterminismTest, ByteIdenticalIndexOnPosixEnv) {
   std::string root = "/tmp/era_pipeline_det_" + std::to_string(::getpid());
   Env* env = GetDefaultEnv();

@@ -392,6 +392,156 @@ TEST_F(StringReaderTest, PrefetchThrottlesSpeculationOnSeekHeavyScans) {
       << "speculation did not recover after the pattern turned sequential";
 }
 
+TEST_F(StringReaderTest, PrefetchRingCountsDepthHits) {
+  // Depth 4 (the default): a steady sequential scan keeps several windows
+  // live at once, so most hits come from windows issued alongside others —
+  // exactly what prefetch_depth_hits counts.
+  StringReaderOptions options;
+  options.buffer_bytes = 16384;
+  options.prefetch = true;
+  options.prefetch_depth = 4;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[64];
+  uint32_t got = 0;
+  for (uint64_t pos = 0; pos + 64 <= data_.size(); pos += 8192) {
+    ASSERT_TRUE(reader->Fetch(pos, 64, buf, &got).ok());
+  }
+  reader.reset();  // fold residual background traffic
+  EXPECT_GT(stats_.prefetch_hits, 50u);
+  EXPECT_GT(stats_.prefetch_depth_hits, 40u);
+  EXPECT_LE(stats_.prefetch_depth_hits, stats_.prefetch_hits);
+}
+
+TEST_F(StringReaderTest, PrefetchDepthOneIsDoubleBufferingWithoutDepthHits) {
+  StringReaderOptions options;
+  options.buffer_bytes = 16384;
+  options.prefetch = true;
+  options.prefetch_depth = 1;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[64];
+  uint32_t got = 0;
+  for (uint64_t pos = 0; pos + 64 <= data_.size(); pos += 8192) {
+    ASSERT_TRUE(reader->Fetch(pos, 64, buf, &got).ok());
+    EXPECT_EQ(std::string(buf, got), data_.substr(pos, 64));
+  }
+  reader.reset();
+  // Still hits (the classic double buffer) but never a depth hit: a single
+  // slot is always issued alone.
+  EXPECT_GT(stats_.prefetch_hits, 50u);
+  EXPECT_EQ(stats_.prefetch_depth_hits, 0u);
+}
+
+TEST_F(StringReaderTest, RingMatchesPlainReaderUnderRandomizedUse) {
+  // The adversarial sequence of PrefetchingMatchesPlainReaderUnderRandomized
+  // Use, at ring depth 4 (that test runs the same body at the default
+  // depth): scan restarts, seek-optimized gaps, EOF, interleaved random.
+  StringReaderOptions plain_options;
+  plain_options.buffer_bytes = 8192;
+  plain_options.seek_optimization = true;
+  plain_options.skip_threshold_bytes = 16384;
+  StringReaderOptions prefetch_options = plain_options;
+  prefetch_options.prefetch = true;
+  prefetch_options.prefetch_depth = 4;
+
+  IoStats plain_stats;
+  auto plain = OpenStringReader(&env_, "/s", plain_options, &plain_stats);
+  ASSERT_TRUE(plain.ok());
+  auto prefetching = Open(prefetch_options);
+
+  std::mt19937_64 rng(777);
+  char a[256], b[256];
+  uint64_t pos = 0;
+  (*plain)->BeginScan();
+  prefetching->BeginScan();
+  for (int step = 0; step < 3000; ++step) {
+    const int kind = static_cast<int>(rng() % 20);
+    if (kind == 0) {
+      pos = rng() % data_.size();
+      (*plain)->BeginScan(pos);
+      prefetching->BeginScan(pos);
+      continue;
+    }
+    if (kind == 1) {
+      uint64_t rpos = rng() % (data_.size() + 64);
+      uint32_t len = 1 + static_cast<uint32_t>(rng() % 64);
+      uint32_t got_a = 0, got_b = 0;
+      ASSERT_TRUE((*plain)->RandomFetch(rpos, len, a, &got_a).ok());
+      ASSERT_TRUE(prefetching->RandomFetch(rpos, len, b, &got_b).ok());
+      ASSERT_EQ(got_a, got_b);
+      ASSERT_EQ(std::string(a, got_a), std::string(b, got_b));
+      continue;
+    }
+    uint64_t gap = rng() % 3 == 0 ? rng() % 50000 : rng() % 512;
+    pos += gap;
+    if (pos > data_.size() + 32) {
+      pos = 0;
+      (*plain)->BeginScan();
+      prefetching->BeginScan();
+    }
+    uint32_t len = 1 + static_cast<uint32_t>(rng() % 256);
+    uint32_t got_a = 0, got_b = 0;
+    ASSERT_TRUE((*plain)->Fetch(pos, len, a, &got_a).ok());
+    ASSERT_TRUE(prefetching->Fetch(pos, len, b, &got_b).ok());
+    ASSERT_EQ(got_a, got_b) << "pos " << pos << " len " << len;
+    ASSERT_EQ(std::string(a, got_a), std::string(b, got_b)) << "pos " << pos;
+  }
+}
+
+TEST_F(StringReaderTest, CacheBackedReaderBillsCacheBytesNotDeviceBytes) {
+  TileCacheOptions cache_options;
+  cache_options.budget_bytes = 2 << 20;
+  cache_options.tile_bytes = 64 << 10;
+  auto cache = TileCache::Open(&env_, "/s", cache_options);
+  ASSERT_TRUE(cache.ok());
+
+  StringReaderOptions options;
+  options.buffer_bytes = 16384;
+  options.prefetch = true;
+  options.tile_cache = *cache;
+  auto reader = Open(options);
+  reader->BeginScan();
+  char buf[64];
+  uint32_t got = 0;
+  for (uint64_t pos = 0; pos + 64 <= data_.size(); pos += 4096) {
+    ASSERT_TRUE(reader->Fetch(pos, 64, buf, &got).ok());
+    ASSERT_EQ(std::string(buf, got), data_.substr(pos, 64));
+  }
+  reader.reset();
+  // The reader's traffic is memory copies out of the cache...
+  EXPECT_EQ(stats_.bytes_read, 0u);
+  EXPECT_GE(stats_.cache_served_bytes, data_.size());
+  // ...and the device transfer happened exactly once, inside the cache.
+  TileCache::Snapshot snapshot = (*cache)->stats();
+  EXPECT_EQ(snapshot.device_bytes_read, data_.size());
+  EXPECT_GT(snapshot.hits, 0u);
+
+  // A second full scan is pure cache residency: zero new device bytes.
+  IoStats second_stats;
+  StringReaderOptions second_options = options;
+  auto second = OpenStringReader(&env_, "/s", second_options, &second_stats);
+  ASSERT_TRUE(second.ok());
+  (*second)->BeginScan();
+  for (uint64_t pos = 0; pos + 64 <= data_.size(); pos += 4096) {
+    ASSERT_TRUE((*second)->Fetch(pos, 64, buf, &got).ok());
+  }
+  second->reset();
+  EXPECT_EQ((*cache)->stats().device_bytes_read, data_.size());
+}
+
+TEST_F(StringReaderTest, CacheBackedReaderRejectsMismatchedPath) {
+  ASSERT_TRUE(env_.WriteFile("/other", "abc").ok());
+  TileCacheOptions cache_options;
+  cache_options.budget_bytes = 1 << 20;
+  auto cache = TileCache::Open(&env_, "/other", cache_options);
+  ASSERT_TRUE(cache.ok());
+  StringReaderOptions options;
+  options.tile_cache = *cache;
+  auto reader = OpenStringReader(&env_, "/s", options, &stats_);
+  EXPECT_FALSE(reader.ok());
+}
+
 TEST_F(StringReaderTest, PrefetchDisabledReaderHasNoPrefetchCounters) {
   auto reader = Open({});
   reader->BeginScan();
