@@ -144,12 +144,16 @@ Status DocumentMap::Save(Env* env, const std::string& path) const {
   std::string file(kMagic, sizeof(kMagic));
   file += payload;
   PutU32(&file, Crc32c(payload.data(), payload.size()));
-  return env->WriteFile(path, file);
+  // Atomic + durable: a crashed collection build leaves either the previous
+  // DOCMAP or the complete new one.
+  return AtomicallyWriteFile(env, path, file);
 }
 
 StatusOr<DocumentMap> DocumentMap::Load(Env* env, const std::string& path) {
   std::string raw;
-  ERA_RETURN_NOT_OK(env->ReadFileToString(path, &raw));
+  if (Status s = env->ReadFileToString(path, &raw); !s.ok()) {
+    return s.WithContext("loading DOCMAP " + path);
+  }
   if (raw.size() < sizeof(kMagic) + sizeof(uint32_t) ||
       std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("not a DOCMAP file: " + path);
@@ -168,7 +172,7 @@ StatusOr<DocumentMap> DocumentMap::Load(Env* env, const std::string& path) {
   ERA_RETURN_NOT_OK(reader.Get(&version));
   if (version != kVersion) {
     return Status::NotSupported("unknown DOCMAP version " +
-                                std::to_string(version));
+                                std::to_string(version) + " in " + path);
   }
   char separator = '\0';
   ERA_RETURN_NOT_OK(reader.Get(&separator));
@@ -186,11 +190,13 @@ StatusOr<DocumentMap> DocumentMap::Load(Env* env, const std::string& path) {
     documents.push_back(std::move(doc));
   }
   if (reader.pos != payload.size()) {
-    return Status::Corruption("DOCMAP payload has trailing bytes");
+    return Status::Corruption("DOCMAP payload has trailing bytes in " + path);
   }
   // Re-validate through Create so a checksum-valid but structurally bad file
   // (hand-edited, version-skewed writer) still fails closed.
-  return Create(std::move(documents), separator);
+  auto map = Create(std::move(documents), separator);
+  if (!map.ok()) return map.status().WithContext("loading DOCMAP " + path);
+  return map;
 }
 
 StatusOr<GeneralizedCollection> ConcatenateCollection(

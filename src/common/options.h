@@ -96,6 +96,19 @@ struct BuildOptions {
   /// with OutOfBudget.
   uint64_t tile_cache_budget_bytes = 0;
 
+  /// Maintain `<work_dir>/CHECKPOINT`, a crash-consistent record of the
+  /// prefix groups whose sub-trees are fully on disk. Costs one small
+  /// atomic file rewrite per completed group; makes a killed build
+  /// resumable.
+  bool checkpoint = true;
+
+  /// Resume from an existing CHECKPOINT in work_dir: checksum-verify the
+  /// recorded groups' sub-tree files, skip rebuilding the ones that check
+  /// out, and rebuild only the remainder. A missing, stale, or corrupt
+  /// checkpoint degrades to a full rebuild (never an error). The resumed
+  /// index is byte-identical to an uninterrupted build.
+  bool resume = false;
+
   /// Directory that receives serialized sub-trees and the index manifest.
   std::string work_dir;
 

@@ -26,6 +26,7 @@ class Status {
     kNotSupported,
     kOutOfBudget,
     kInternal,
+    kUnavailable,
   };
 
   /// Constructs an OK status.
@@ -54,6 +55,11 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  /// A dependency (typically a stored artifact) is temporarily or permanently
+  /// unreadable; the request failed but the service as a whole is healthy.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -63,12 +69,20 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfBudget() const { return code_ == Code::kOutOfBudget; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// Human-readable "CODE: message" string, e.g. "IOError: open failed".
   std::string ToString() const;
+
+  /// Same code with "context: message" — use to name the operation and path
+  /// an error bubbled out of. OK statuses pass through unchanged.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code_, context + ": " + message_);
+  }
 
  private:
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}

@@ -1,0 +1,131 @@
+// Crash-consistent build checkpointing for the horizontal phase.
+//
+// ROADMAP item 3: a killed genome-scale build used to lose everything. The
+// fix is a single `<work_dir>/CHECKPOINT` file that records, after every
+// completed prefix group, the set of groups whose sub-tree files are fully
+// and durably on disk — group id plus the CRC-32C of each published
+// st_<g>_<k>.bin. The file is rewritten atomically (temp + Sync + rename),
+// so at any kill point it describes only artifacts that actually survive,
+// and a checkpoint that ended mid-group simply omits that group.
+//
+// Resume (`BuildOptions::resume`) re-runs the deterministic vertical
+// partition, verifies the recorded groups against the plan fingerprint and
+// the on-disk file checksums, skips the groups that check out, and rebuilds
+// the rest. Because every sub-tree's bytes depend only on (prefix, tree)
+// and slot naming is deterministic, the resumed index is byte-identical to
+// an uninterrupted build at any worker count.
+
+#ifndef ERA_ERA_CHECKPOINT_H_
+#define ERA_ERA_CHECKPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "era/vertical_partitioner.h"
+#include "io/env.h"
+
+namespace era {
+
+/// Name of the checkpoint file inside a build's work_dir.
+inline constexpr char kCheckpointFilename[] = "CHECKPOINT";
+
+/// Canonical sub-tree filename `st_<group_id>_<k>.bin` — the deterministic
+/// slot naming shared by the builders (emit) and resume (verify).
+std::string SubTreeFileName(uint64_t group_id, std::size_t k);
+
+/// Identifies the build a checkpoint belongs to. Vertical partitioning is
+/// deterministic in (text, options), so these four numbers changing means
+/// the checkpointed sub-trees describe a different plan and must not be
+/// reused.
+struct CheckpointFingerprint {
+  uint64_t text_length = 0;
+  uint64_t fm = 0;
+  uint64_t num_groups = 0;
+  uint64_t num_subtrees = 0;
+
+  bool operator==(const CheckpointFingerprint& o) const {
+    return text_length == o.text_length && fm == o.fm &&
+           num_groups == o.num_groups && num_subtrees == o.num_subtrees;
+  }
+};
+
+/// Parsed CHECKPOINT contents.
+struct CheckpointState {
+  CheckpointFingerprint fingerprint;
+  struct Group {
+    uint64_t group_id = 0;
+    /// Slot-indexed CRC-32C of each st_<group_id>_<k>.bin as written.
+    std::vector<uint32_t> subtree_crcs;
+  };
+  std::vector<Group> groups;
+};
+
+/// What a resume pass decided per group.
+struct ResumePlan {
+  /// group_done[g] — group g's sub-trees are all on disk and checksum-clean;
+  /// the builder skips it and reconstructs its GroupOutput from the plan.
+  std::vector<char> group_done;
+  /// Valid where group_done: the recorded per-slot file CRCs.
+  std::vector<std::vector<uint32_t>> group_crcs;
+  uint64_t groups_skipped = 0;
+  uint64_t subtrees_verified = 0;
+};
+
+/// Loads and parses `<work_dir>/CHECKPOINT`. IOError when unreadable,
+/// Corruption when malformed or checksum-invalid.
+StatusOr<CheckpointState> LoadCheckpoint(Env* env,
+                                         const std::string& work_dir);
+
+/// Decides what a resumed build may skip: loads the checkpoint, matches its
+/// fingerprint against `fingerprint`, and re-reads every recorded sub-tree
+/// file, accepting a group only when all of its files exist with matching
+/// CRC-32C. Any problem — no checkpoint, wrong fingerprint, missing or
+/// corrupt file — silently degrades that group (or everything) to a
+/// rebuild; this function only errors on malformed arguments.
+ResumePlan PlanResume(Env* env, const std::string& work_dir,
+                      const CheckpointFingerprint& fingerprint,
+                      const PartitionPlan& plan);
+
+/// Maintains CHECKPOINT during a build. Thread-safe: workers and background
+/// writer threads report each durably published sub-tree; when a group's
+/// last sub-tree lands, the file is atomically rewritten with the group
+/// added. Checkpoint I/O failures never fail the build — the checkpoint is
+/// an optimization, and `status()` exposes the first failure for logging.
+class CheckpointManager {
+ public:
+  /// `group_sizes[g]` is the number of sub-trees group g must publish.
+  CheckpointManager(Env* env, std::string work_dir,
+                    const CheckpointFingerprint& fingerprint,
+                    std::vector<uint64_t> group_sizes);
+
+  /// Seeds a group verified by PlanResume: it is recorded in every
+  /// subsequent rewrite without waiting for notifications.
+  void MarkGroupVerified(uint64_t group_id, std::vector<uint32_t> crcs);
+
+  /// Reports one durably published sub-tree. Rewrites CHECKPOINT when this
+  /// completes group `group_id`.
+  void NoteSubTreeWritten(uint64_t group_id, std::size_t k,
+                          uint32_t file_crc);
+
+  /// First checkpoint-write failure, or OK.
+  Status status() const;
+
+ private:
+  Status WriteLocked();
+
+  Env* env_;
+  std::string path_;
+  CheckpointFingerprint fingerprint_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> pending_;               // sub-trees still owed
+  std::vector<std::vector<uint32_t>> crcs_;     // slot-indexed, per group
+  std::vector<char> done_;
+  Status status_;
+};
+
+}  // namespace era
+
+#endif  // ERA_ERA_CHECKPOINT_H_

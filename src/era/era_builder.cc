@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "era/branch_edge.h"
 #include "era/build_subtree.h"
+#include "era/checkpoint.h"
 #include "era/range_policy.h"
 #include "era/subtree_prepare.h"
 #include "era/subtree_writer.h"
@@ -19,7 +20,9 @@ std::string BuildStats::ToString() const {
      << "s horizontal=" << horizontal_seconds << "s) fm=" << fm
      << " groups=" << num_groups << " subtrees=" << num_subtrees
      << " rounds=" << prepare_rounds << " peak_tree=" << peak_tree_bytes
-     << "B io_amplification=" << io_amplification()
+     << "B groups_resumed=" << groups_resumed
+     << " subtrees_verified=" << subtrees_verified
+     << " io_amplification=" << io_amplification()
      << " tile_hit_rate=" << tile_hit_rate()
      << " io{" << io.ToString() << "}";
   return os.str();
@@ -89,6 +92,7 @@ void FoldTileCacheStats(const std::shared_ptr<TileCache>& cache,
   stats->io.tile_misses += snapshot.misses;
   stats->io.tile_device_bytes += snapshot.device_bytes_read;
   stats->io.tile_evicted_bytes += snapshot.evicted_bytes;
+  stats->io.read_retries += snapshot.read_retries;
   // The cache's loads are the build's only device reads on cache-backed
   // paths; fold them into the canonical device-read total.
   stats->io.bytes_read += snapshot.device_bytes_read;
@@ -98,36 +102,61 @@ StatusOr<uint64_t> BuildAndEmitPrefix(const BuildOptions& options,
                                       uint64_t text_length, uint64_t group_id,
                                       std::size_t k, PreparedSubTree&& prepared,
                                       GroupOutput* out,
-                                      BackgroundSubTreeWriter* writer) {
+                                      BackgroundSubTreeWriter* writer,
+                                      CheckpointManager* checkpoint) {
   ERA_ASSIGN_OR_RETURN(TreeBuffer tree, BuildSubTree(prepared, text_length));
   return EmitBuiltSubTree(options, group_id, k, std::move(prepared.prefix),
                           static_cast<uint64_t>(prepared.leaves.size()),
-                          std::move(tree), out, writer);
+                          std::move(tree), out, writer, checkpoint);
 }
 
 StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
                                     uint64_t group_id, std::size_t k,
                                     std::string prefix, uint64_t frequency,
                                     TreeBuffer&& tree, GroupOutput* out,
-                                    BackgroundSubTreeWriter* writer) {
+                                    BackgroundSubTreeWriter* writer,
+                                    CheckpointManager* checkpoint) {
   const uint64_t bytes = tree.MemoryBytes();
-  std::string filename =
-      "st_" + std::to_string(group_id) + "_" + std::to_string(k) + ".bin";
+  std::string filename = SubTreeFileName(group_id, k);
   std::string path = options.work_dir + "/" + filename;
   out->subtrees[k] = {prefix, frequency, std::move(filename)};
   if (writer != nullptr) {
-    writer->Enqueue(std::move(path), std::move(prefix), std::move(tree));
+    writer->Enqueue(std::move(path), std::move(prefix), std::move(tree),
+                    checkpoint == nullptr
+                        ? BackgroundSubTreeWriter::WriteDone()
+                        : [checkpoint, group_id, k](const Status& s,
+                                                    uint32_t file_crc) {
+                            if (s.ok()) {
+                              checkpoint->NoteSubTreeWritten(group_id, k,
+                                                             file_crc);
+                            }
+                          });
   } else {
+    uint32_t file_crc = 0;
     ERA_RETURN_NOT_OK(WriteSubTree(options.GetEnv(), path, prefix, tree,
-                                   &out->write_io));
+                                   &out->write_io, &file_crc));
+    if (checkpoint != nullptr) {
+      checkpoint->NoteSubTreeWritten(group_id, k, file_crc);
+    }
   }
   return bytes;
+}
+
+void ReconstructGroupOutput(const VirtualTree& group, uint64_t group_id,
+                            GroupOutput* out) {
+  out->subtrees.resize(group.prefixes.size());
+  for (std::size_t k = 0; k < group.prefixes.size(); ++k) {
+    out->subtrees[k] = {group.prefixes[k].prefix,
+                        group.prefixes[k].frequency,
+                        SubTreeFileName(group_id, k)};
+  }
 }
 
 Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
                     const MemoryLayout& layout, const VirtualTree& group,
                     uint64_t group_id, StringReader* reader, GroupOutput* out,
-                    BackgroundSubTreeWriter* writer) {
+                    BackgroundSubTreeWriter* writer,
+                    CheckpointManager* checkpoint) {
   RangePolicy policy = RangePolicy::FromOptions(options, layout.r_buffer_bytes);
   out->subtrees.resize(group.prefixes.size());
 
@@ -141,7 +170,7 @@ Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
           uint64_t bytes,
           EmitBuiltSubTree(options, group_id, k, prefix,
                            group.prefixes[k].frequency, std::move(tree), out,
-                           writer));
+                           writer, checkpoint));
       out->tree_bytes += bytes;
     }
   } else {
@@ -154,7 +183,8 @@ Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
           ERA_ASSIGN_OR_RETURN(
               uint64_t bytes,
               BuildAndEmitPrefix(options, text.length, group_id, k,
-                                 std::move(prepared), out, writer));
+                                 std::move(prepared), out, writer,
+                                 checkpoint));
           out->tree_bytes += bytes;
           return Status::OK();
         });
@@ -223,10 +253,43 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
                        OpenStringReader(options_.GetEnv(), text.path,
                                         reader_options, &scan_stats));
 
+  const CheckpointFingerprint fingerprint{text.length, layout.fm,
+                                          plan.groups.size(),
+                                          plan.NumSubTrees()};
+  ResumePlan resume;
+  resume.group_done.assign(plan.groups.size(), 0);
+  if (options_.resume) {
+    resume = PlanResume(options_.GetEnv(), options_.work_dir, fingerprint,
+                        plan);
+    stats.groups_resumed = resume.groups_skipped;
+    stats.subtrees_verified = resume.subtrees_verified;
+  }
+
+  std::unique_ptr<CheckpointManager> checkpoint;
+  if (options_.checkpoint) {
+    std::vector<uint64_t> group_sizes(plan.groups.size());
+    for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+      group_sizes[g] = plan.groups[g].prefixes.size();
+    }
+    checkpoint = std::make_unique<CheckpointManager>(
+        options_.GetEnv(), options_.work_dir, fingerprint,
+        std::move(group_sizes));
+    for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+      if (resume.group_done[g]) {
+        checkpoint->MarkGroupVerified(g, resume.group_crcs[g]);
+      }
+    }
+  }
+
   std::vector<GroupOutput> outputs(plan.groups.size());
   for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    if (resume.group_done[g]) {
+      ReconstructGroupOutput(plan.groups[g], g, &outputs[g]);
+      continue;
+    }
     ERA_RETURN_NOT_OK(ProcessGroup(text, options_, layout, plan.groups[g], g,
-                                   reader.get(), &outputs[g]));
+                                   reader.get(), &outputs[g],
+                                   /*writer=*/nullptr, checkpoint.get()));
     stats.prepare_rounds += outputs[g].rounds;
     stats.peak_tree_bytes =
         std::max(stats.peak_tree_bytes, outputs[g].tree_bytes);

@@ -29,6 +29,10 @@ struct BuildStats {
   uint64_t num_subtrees = 0;
   uint64_t prepare_rounds = 0;    // sum over groups
   uint64_t peak_tree_bytes = 0;   // max per-group in-memory tree footprint
+  /// Groups skipped by a resume after their sub-trees checksum-verified.
+  uint64_t groups_resumed = 0;
+  /// Sub-tree files whose CRC-32C the resume pass re-verified.
+  uint64_t subtrees_verified = 0;
   /// Length of the indexed text (terminal included); denominator of
   /// io_amplification().
   uint64_t text_bytes = 0;
@@ -69,6 +73,7 @@ struct BuildResult {
 };
 
 class BackgroundSubTreeWriter;
+class CheckpointManager;
 struct PreparedSubTree;
 
 /// Output of processing one virtual tree (used by serial and parallel
@@ -90,14 +95,17 @@ struct GroupOutput {
 
 /// Names one built sub-tree `st_<group_id>_<k>.bin`, records it in
 /// out->subtrees[k] (which must already be sized), and either writes it
-/// synchronously (billing out->write_io) or hands it to `writer`. Returns
-/// the tree's in-memory size. Safe to call concurrently for distinct slots
-/// of the same GroupOutput.
+/// synchronously (billing out->write_io) or hands it to `writer`. Each
+/// durably published file is reported to `checkpoint` (when given) with its
+/// CRC-32C, on the writer thread for enqueued writes. Returns the tree's
+/// in-memory size. Safe to call concurrently for distinct slots of the same
+/// GroupOutput.
 StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
                                     uint64_t group_id, std::size_t k,
                                     std::string prefix, uint64_t frequency,
                                     TreeBuffer&& tree, GroupOutput* out,
-                                    BackgroundSubTreeWriter* writer);
+                                    BackgroundSubTreeWriter* writer,
+                                    CheckpointManager* checkpoint = nullptr);
 
 /// The full per-prefix tail of the pipeline: BuildSubTree on a prepared
 /// prefix, then EmitBuiltSubTree. One body shared by the serial streaming
@@ -107,7 +115,8 @@ StatusOr<uint64_t> BuildAndEmitPrefix(const BuildOptions& options,
                                       uint64_t text_length, uint64_t group_id,
                                       std::size_t k, PreparedSubTree&& prepared,
                                       GroupOutput* out,
-                                      BackgroundSubTreeWriter* writer);
+                                      BackgroundSubTreeWriter* writer,
+                                      CheckpointManager* checkpoint = nullptr);
 
 /// Builds all sub-trees of `group`, writes them under `options.work_dir`
 /// with filenames `st_<group_id>_<k>`, and reports what was written.
@@ -119,7 +128,14 @@ Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
                     const MemoryLayout& layout, const VirtualTree& group,
                     uint64_t group_id, StringReader* reader,
                     GroupOutput* out,
-                    BackgroundSubTreeWriter* writer = nullptr);
+                    BackgroundSubTreeWriter* writer = nullptr,
+                    CheckpointManager* checkpoint = nullptr);
+
+/// Fills `out` for a group that a resume pass verified on disk: sub-tree
+/// entries are reconstructed from the plan (prefix, frequency) and the
+/// deterministic slot naming, with no device traffic.
+void ReconstructGroupOutput(const VirtualTree& group, uint64_t group_id,
+                            GroupOutput* out);
 
 /// PlanMemory plus the build-level tile-cache refinement: when the auto
 /// carve exceeds this build's useful per-core share (tile-rounded file size

@@ -9,6 +9,7 @@
 
 #include "common/timer.h"
 #include "era/build_subtree.h"
+#include "era/checkpoint.h"
 #include "era/memory_layout.h"
 #include "era/range_policy.h"
 #include "era/subtree_prepare.h"
@@ -133,6 +134,32 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
   // ---- Horizontal phase: subtree-granular pipeline. ----
   WallTimer horizontal_timer;
   const std::size_t num_groups = plan.groups.size();
+
+  const CheckpointFingerprint fingerprint{text.length, layout.fm,
+                                          plan.groups.size(),
+                                          plan.NumSubTrees()};
+  ResumePlan resume;
+  resume.group_done.assign(num_groups, 0);
+  if (options_.resume) {
+    resume = PlanResume(env, options_.work_dir, fingerprint, plan);
+    stats.groups_resumed = resume.groups_skipped;
+    stats.subtrees_verified = resume.subtrees_verified;
+  }
+  std::unique_ptr<CheckpointManager> checkpoint;
+  if (options_.checkpoint) {
+    std::vector<uint64_t> group_sizes(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      group_sizes[g] = plan.groups[g].prefixes.size();
+    }
+    checkpoint = std::make_unique<CheckpointManager>(
+        env, options_.work_dir, fingerprint, std::move(group_sizes));
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      if (resume.group_done[g]) {
+        checkpoint->MarkGroupVerified(g, resume.group_crcs[g]);
+      }
+    }
+  }
+
   std::vector<GroupOutput> outputs(num_groups);
   std::vector<GroupWork> works(num_groups);
   std::vector<IoStats> worker_io(num_workers_);
@@ -157,6 +184,12 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
     std::vector<PipelineTask> seeds;
     seeds.reserve(num_groups);
     for (std::size_t g : TileAffinityOrder(plan.groups)) {
+      if (resume.group_done[g]) {
+        // Verified on disk by the resume pass: reconstruct the output from
+        // the plan and never schedule the group.
+        ReconstructGroupOutput(plan.groups[g], g, &outputs[g]);
+        continue;
+      }
       seeds.push_back({PipelineTask::Kind::kGroup,
                        static_cast<uint32_t>(g), 0});
     }
@@ -213,7 +246,7 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
                 uint64_t bytes,
                 BuildAndEmitPrefix(worker_options, text.length, g, task.prefix,
                                    std::move(gw.prepared[task.prefix]),
-                                   &outputs[g], &writer));
+                                   &outputs[g], &writer, checkpoint.get()));
             gw.tree_bytes.fetch_add(bytes, std::memory_order_relaxed);
             return Status::OK();
           }
@@ -226,7 +259,8 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
             // BranchEdge fuses prepare+build per group; only its writes
             // overlap (the background writer).
             return ProcessGroup(text, worker_options, layout, plan.groups[g],
-                                g, reader.get(), &outputs[g], &writer);
+                                g, reader.get(), &outputs[g], &writer,
+                                checkpoint.get());
           }
           // Prepare stage: stream each resolved prefix out as a stealable
           // build task, then keep draining our own deque LIFO.
@@ -249,6 +283,13 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
 
         PipelineTask task;
         while (queue.Pop(w, &task)) {
+          if (writer.Failed()) {
+            // A background write already failed permanently; building more
+            // trees only queues more doomed work. Drain() reports the error.
+            queue.TaskDone();
+            queue.Abort();
+            break;
+          }
           WallTimer task_timer;
           Status s = run_task(task);
           busy += task_timer.Seconds();

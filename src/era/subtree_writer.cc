@@ -17,6 +17,7 @@ struct WriteJob {
   std::string prefix;
   TreeBuffer tree;
   uint64_t bytes = 0;
+  BackgroundSubTreeWriter::WriteDone done;
 };
 
 }  // namespace
@@ -31,12 +32,13 @@ BackgroundSubTreeWriter::BackgroundSubTreeWriter(Env* env,
 BackgroundSubTreeWriter::~BackgroundSubTreeWriter() { (void)Drain(); }
 
 void BackgroundSubTreeWriter::Enqueue(std::string path, std::string prefix,
-                                      TreeBuffer tree) {
+                                      TreeBuffer tree, WriteDone done) {
   auto job = std::make_shared<WriteJob>();
   job->path = std::move(path);
   job->prefix = std::move(prefix);
   job->bytes = tree.MemoryBytes();
   job->tree = std::move(tree);
+  job->done = std::move(done);
 
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -46,7 +48,13 @@ void BackgroundSubTreeWriter::Enqueue(std::string path, std::string prefix,
       return !first_error_.ok() || queued_bytes_ == 0 ||
              queued_bytes_ + job->bytes <= max_queued_bytes_;
     });
-    if (!first_error_.ok()) return;  // build is failing; drop the work
+    if (!first_error_.ok()) {
+      // Build is failing; drop the work (outside the lock for the callback).
+      Status err = first_error_;
+      lock.unlock();
+      if (job->done) job->done(err, 0);
+      return;
+    }
     queued_bytes_ += job->bytes;
     peak_queued_bytes_ = std::max(peak_queued_bytes_, queued_bytes_);
   }
@@ -56,20 +64,33 @@ void BackgroundSubTreeWriter::Enqueue(std::string path, std::string prefix,
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_.ok()) {
         // Skip the device for work queued before the first failure.
+        Status err = first_error_;
         queued_bytes_ -= job->bytes;
         cv_.notify_all();
+        if (job->done) job->done(err, 0);
         return;
       }
     }
     IoStats local;
-    Status s =
-        WriteSubTree(env_, job->path, job->prefix, job->tree, &local);
-    std::lock_guard<std::mutex> lock(mu_);
-    io_.Add(local);
-    if (!s.ok() && first_error_.ok()) first_error_ = s;
-    queued_bytes_ -= job->bytes;
-    cv_.notify_all();
+    uint32_t file_crc = 0;
+    Status s = WriteSubTree(env_, job->path, job->prefix, job->tree, &local,
+                            &file_crc);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      io_.Add(local);
+      if (!s.ok() && first_error_.ok()) {
+        first_error_ = s;
+        failed_.store(true, std::memory_order_release);
+      }
+      queued_bytes_ -= job->bytes;
+      cv_.notify_all();
+    }
+    if (job->done) job->done(s, file_crc);
   });
+}
+
+bool BackgroundSubTreeWriter::Failed() const {
+  return failed_.load(std::memory_order_acquire);
 }
 
 Status BackgroundSubTreeWriter::Drain() {

@@ -12,8 +12,10 @@
 #ifndef ERA_ERA_SUBTREE_WRITER_H_
 #define ERA_ERA_SUBTREE_WRITER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -39,10 +41,22 @@ class BackgroundSubTreeWriter {
   BackgroundSubTreeWriter(const BackgroundSubTreeWriter&) = delete;
   BackgroundSubTreeWriter& operator=(const BackgroundSubTreeWriter&) = delete;
 
+  /// Invoked once per job with the write outcome and, on success, the
+  /// CRC-32C of the published file (checkpointing hook). Runs on a writer
+  /// thread with no writer lock held; must be cheap and thread-safe.
+  using WriteDone = std::function<void(const Status&, uint32_t file_crc)>;
+
   /// Queues `tree` for serialization to `path`. Blocks on backpressure.
-  /// After the first write error every later Enqueue is dropped; Drain()
-  /// returns that error.
-  void Enqueue(std::string path, std::string prefix, TreeBuffer tree);
+  /// After the first write error every later Enqueue is dropped (its `done`
+  /// fires with that error); Drain() returns the original error, which
+  /// names the failing path.
+  void Enqueue(std::string path, std::string prefix, TreeBuffer tree,
+               WriteDone done = nullptr);
+
+  /// True once a write has failed (or a submission was rejected). Lock-cheap
+  /// fast path that producers poll between tasks to stop building doomed
+  /// work early; Drain() has the authoritative Status.
+  bool Failed() const;
 
   /// Waits for every queued write and returns the first error.
   Status Drain();
@@ -56,11 +70,12 @@ class BackgroundSubTreeWriter {
   Env* env_;
   uint64_t max_queued_bytes_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   uint64_t queued_bytes_ = 0;
   uint64_t peak_queued_bytes_ = 0;
   Status first_error_;
+  std::atomic<bool> failed_{false};  // mirrors !first_error_.ok()
 
   IoStats io_;
   ThreadPool pool_;  // last: its workers use the members above

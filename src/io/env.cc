@@ -1,5 +1,7 @@
 #include "io/env.h"
 
+#include "common/crc32.h"
+
 namespace era {
 
 Status Env::WriteFile(const std::string& path, const std::string& data) {
@@ -17,6 +19,66 @@ Status Env::ReadFileToString(const std::string& path, std::string* out) {
   if (got != out->size()) {
     return Status::IOError("short read of " + path);
   }
+  return Status::OK();
+}
+
+StatusOr<AtomicFileWriter> AtomicFileWriter::Open(Env* env,
+                                                  const std::string& path) {
+  std::string tmp_path = path + ".tmp";
+  auto file = env->NewWritable(tmp_path);
+  if (!file.ok()) {
+    return file.status().WithContext("atomic write of " + path);
+  }
+  return AtomicFileWriter(env, path, std::move(tmp_path),
+                          std::move(*file));
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (file_ != nullptr) Abandon();
+}
+
+Status AtomicFileWriter::Append(const char* data, std::size_t n) {
+  if (file_ == nullptr) {
+    return Status::Internal("append to spent atomic writer for " + path_);
+  }
+  if (Status s = file_->Append(data, n); !s.ok()) {
+    return s.WithContext("atomic write of " + path_);
+  }
+  crc_ = Crc32c(data, n, crc_);
+  bytes_ += n;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (file_ == nullptr) {
+    return Status::Internal("commit of spent atomic writer for " + path_);
+  }
+  Status s = file_->Sync();
+  if (s.ok()) s = file_->Close();
+  file_.reset();
+  if (s.ok()) s = env_->RenameFile(tmp_path_, path_);
+  if (!s.ok()) {
+    env_->DeleteFile(tmp_path_);  // best effort; ignore secondary failures
+    return s.WithContext("atomic write of " + path_);
+  }
+  return Status::OK();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (file_ != nullptr) {
+    file_->Close();
+    file_.reset();
+  }
+  env_->DeleteFile(tmp_path_);  // best effort
+}
+
+Status AtomicallyWriteFile(Env* env, const std::string& path,
+                           const std::string& data, uint32_t* file_crc) {
+  ERA_ASSIGN_OR_RETURN(AtomicFileWriter writer,
+                       AtomicFileWriter::Open(env, path));
+  ERA_RETURN_NOT_OK(writer.Append(data));
+  ERA_RETURN_NOT_OK(writer.Commit());
+  if (file_crc != nullptr) *file_crc = writer.crc32c();
   return Status::OK();
 }
 

@@ -49,6 +49,11 @@ class WritableFile {
   virtual ~WritableFile() = default;
 
   virtual Status Append(const char* data, std::size_t n) = 0;
+  /// Makes every byte appended so far durable: after Sync returns OK, the
+  /// data survives a crash (Env::SimulateCrash in a FaultyEnv, power loss on
+  /// a real device). Un-synced appends may be lost. Default is a no-op,
+  /// which is correct for Envs with no crash notion (MemEnv).
+  virtual Status Sync() { return Status::OK(); }
   virtual Status Close() = 0;
 
   Status Append(const std::string& data) {
@@ -72,12 +77,70 @@ class Env {
   virtual Status DeleteFile(const std::string& path) = 0;
   /// Creates a directory (and parents). No-op if it already exists.
   virtual Status CreateDir(const std::string& path) = 0;
+  /// Atomically replaces `to` with `from` (POSIX rename semantics): readers
+  /// observe either the old content of `to` or all of `from`, never a mix.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
 
   /// Convenience: writes `data` to `path`, replacing existing content.
+  /// Not atomic and not durable — use AtomicallyWriteFile for artifacts that
+  /// must never be observed half-written.
   Status WriteFile(const std::string& path, const std::string& data);
   /// Convenience: reads the whole file into `*out`.
   Status ReadFileToString(const std::string& path, std::string* out);
 };
+
+/// Streams an artifact into `<path>.tmp` and publishes it with
+/// Sync + Close + rename on Commit. A crash at any point leaves either the
+/// previous content of `path` or the complete new content — never a torn
+/// file (at worst a stray `.tmp` that the next writer overwrites).
+/// Abandons (deletes the temp file) on destruction unless committed.
+class AtomicFileWriter {
+ public:
+  static StatusOr<AtomicFileWriter> Open(Env* env, const std::string& path);
+
+  AtomicFileWriter(AtomicFileWriter&&) = default;
+  AtomicFileWriter& operator=(AtomicFileWriter&&) = default;
+  ~AtomicFileWriter();
+
+  Status Append(const char* data, std::size_t n);
+  Status Append(const std::string& data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// CRC-32C of every byte appended so far — after Commit, the checksum of
+  /// the published file. Lets callers record artifact checksums without
+  /// re-reading what they just wrote.
+  uint32_t crc32c() const { return crc_; }
+  uint64_t bytes_appended() const { return bytes_; }
+
+  /// Sync + Close + rename onto the final path. The writer is spent after
+  /// Commit (successful or not).
+  Status Commit();
+  /// Drops the temp file (best effort). Called implicitly by the destructor
+  /// when Commit was never reached.
+  void Abandon();
+
+ private:
+  AtomicFileWriter(Env* env, std::string path, std::string tmp_path,
+                   std::unique_ptr<WritableFile> file)
+      : env_(env),
+        path_(std::move(path)),
+        tmp_path_(std::move(tmp_path)),
+        file_(std::move(file)) {}
+
+  Env* env_ = nullptr;
+  std::string path_;
+  std::string tmp_path_;
+  std::unique_ptr<WritableFile> file_;  // null once committed/abandoned
+  uint32_t crc_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// Convenience: atomically + durably replaces `path` with `data` (temp file,
+/// Sync, rename). `file_crc` (optional) receives the CRC-32C of `data`.
+Status AtomicallyWriteFile(Env* env, const std::string& path,
+                           const std::string& data,
+                           uint32_t* file_crc = nullptr);
 
 /// Process-wide POSIX Env singleton.
 Env* GetDefaultEnv();

@@ -19,7 +19,8 @@ std::string IoStats::ToString() const {
      << " tile_device=" << tile_device_bytes << "B"
      << " tile_evicted=" << tile_evicted_bytes << "B"
      << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
-     << " cache_evicted=" << cache_evicted_bytes << "B";
+     << " cache_evicted=" << cache_evicted_bytes << "B"
+     << " read_retries=" << read_retries;
   return os.str();
 }
 

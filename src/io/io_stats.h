@@ -70,6 +70,10 @@ struct IoStats {
   /// Bytes of cached sub-trees dropped by LRU budget evictions (explicit
   /// EvictCache sweeps are not counted; see TreeIndex).
   uint64_t cache_evicted_bytes = 0;
+  /// Device reads that failed transiently and were re-issued by a
+  /// RetryPolicy. A nonzero count with a successful run means faults were
+  /// absorbed, not ignored.
+  uint64_t read_retries = 0;
 
   /// Accumulates `other` into this (for aggregating per-thread stats).
   void Add(const IoStats& other) {
@@ -93,6 +97,7 @@ struct IoStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     cache_evicted_bytes += other.cache_evicted_bytes;
+    read_retries += other.read_retries;
   }
 
   std::string ToString() const;

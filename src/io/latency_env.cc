@@ -52,6 +52,14 @@ class LatencyWritableFile : public WritableFile {
     return Status::OK();
   }
 
+  Status Sync() override {
+    ERA_RETURN_NOT_OK(base_->Sync());
+    // A flush costs one device round-trip but no transfer (the appends
+    // already paid for their bytes).
+    SleepSeconds(model_.write_latency_seconds);
+    return Status::OK();
+  }
+
   Status Close() override { return base_->Close(); }
 
  private:
@@ -89,6 +97,10 @@ Status LatencyEnv::DeleteFile(const std::string& path) {
 
 Status LatencyEnv::CreateDir(const std::string& path) {
   return base_->CreateDir(path);
+}
+
+Status LatencyEnv::RenameFile(const std::string& from, const std::string& to) {
+  return base_->RenameFile(from, to);
 }
 
 }  // namespace era

@@ -60,6 +60,7 @@ class LatencyEnv : public Env {
   StatusOr<uint64_t> FileSize(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
 
   const LatencyModel& model() const { return model_; }
 

@@ -95,6 +95,19 @@ Status MemEnv::DeleteFile(const std::string& path) {
 
 Status MemEnv::CreateDir(const std::string&) { return Status::OK(); }
 
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::IOError("mem file not found: " + from);
+  }
+  // Swap the whole entry in, POSIX-style: readers holding the old `to`
+  // shared_ptr keep their snapshot.
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
 std::size_t MemEnv::FileCount() {
   std::lock_guard<std::mutex> lock(mutex_);
   return files_.size();

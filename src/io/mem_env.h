@@ -24,6 +24,7 @@ class MemEnv : public Env {
   StatusOr<uint64_t> FileSize(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
 
   /// Number of files currently stored (test helper).
   std::size_t FileCount();

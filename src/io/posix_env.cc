@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace era {
@@ -18,7 +19,8 @@ std::string ErrnoMessage(const std::string& context) {
 
 class PosixRandomAccessFile : public RandomAccessFile {
  public:
-  PosixRandomAccessFile(int fd, uint64_t size) : fd_(fd), size_(size) {}
+  PosixRandomAccessFile(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
   ~PosixRandomAccessFile() override { ::close(fd_); }
 
   Status Read(uint64_t offset, std::size_t n, char* scratch,
@@ -29,7 +31,7 @@ class PosixRandomAccessFile : public RandomAccessFile {
                             static_cast<off_t>(offset + total));
       if (got < 0) {
         if (errno == EINTR) continue;
-        return Status::IOError(ErrnoMessage("pread"));
+        return Status::IOError(ErrnoMessage("pread " + path_));
       }
       if (got == 0) break;  // EOF
       total += static_cast<std::size_t>(got);
@@ -45,11 +47,13 @@ class PosixRandomAccessFile : public RandomAccessFile {
  private:
   int fd_;
   uint64_t size_;
+  std::string path_;
 };
 
 class PosixWritableFile : public WritableFile {
  public:
-  explicit PosixWritableFile(int fd) : fd_(fd) {}
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
   ~PosixWritableFile() override {
     if (fd_ >= 0) ::close(fd_);
   }
@@ -60,9 +64,17 @@ class PosixWritableFile : public WritableFile {
       ssize_t put = ::write(fd_, data + total, n - total);
       if (put < 0) {
         if (errno == EINTR) continue;
-        return Status::IOError(ErrnoMessage("write"));
+        return Status::IOError(ErrnoMessage("write " + path_));
       }
       total += static_cast<std::size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync " + path_));
     }
     return Status::OK();
   }
@@ -71,12 +83,13 @@ class PosixWritableFile : public WritableFile {
     if (fd_ < 0) return Status::OK();
     int rc = ::close(fd_);
     fd_ = -1;
-    if (rc != 0) return Status::IOError(ErrnoMessage("close"));
+    if (rc != 0) return Status::IOError(ErrnoMessage("close " + path_));
     return Status::OK();
   }
 
  private:
   int fd_;
+  std::string path_;
 };
 
 }  // namespace
@@ -91,14 +104,14 @@ StatusOr<std::unique_ptr<RandomAccessFile>> PosixEnv::OpenRandomAccess(
     return Status::IOError(ErrnoMessage("fstat " + path));
   }
   return std::unique_ptr<RandomAccessFile>(
-      new PosixRandomAccessFile(fd, static_cast<uint64_t>(st.st_size)));
+      new PosixRandomAccessFile(fd, static_cast<uint64_t>(st.st_size), path));
 }
 
 StatusOr<std::unique_ptr<WritableFile>> PosixEnv::NewWritable(
     const std::string& path) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return Status::IOError(ErrnoMessage("open " + path));
-  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd));
+  return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
 }
 
 bool PosixEnv::FileExists(const std::string& path) {
@@ -132,6 +145,13 @@ Status PosixEnv::CreateDir(const std::string& path) {
       }
     }
     if (i < path.size()) partial.push_back(path[i]);
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError(ErrnoMessage("rename " + from + " -> " + to));
   }
   return Status::OK();
 }

@@ -18,6 +18,7 @@ class PosixEnv : public Env {
   StatusOr<uint64_t> FileSize(const std::string& path) override;
   Status DeleteFile(const std::string& path) override;
   Status CreateDir(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
 };
 
 }  // namespace era

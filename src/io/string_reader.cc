@@ -58,8 +58,13 @@ Status StringReader::Refill(uint64_t pos, bool sequential,
     want = std::min<std::size_t>(want, options_.random_window_bytes);
   }
   std::size_t got = 0;
-  ERA_RETURN_NOT_OK(file_->Read(pos, want, buffer_.data(), &got));
+  uint64_t retries = 0;
+  ERA_RETURN_NOT_OK(RunWithRetry(
+      options_.retry,
+      [&] { return file_->Read(pos, want, buffer_.data(), &got); },
+      &retries));
   if (stats_ != nullptr) {
+    stats_->read_retries += retries;
     // A cache-backed reader copies from resident tiles, not the device; the
     // TileCache bills the device bytes its misses actually transfer.
     if (options_.tile_cache != nullptr) {
@@ -280,9 +285,15 @@ void PrefetchingStringReader::PrefetchLoop() {
     const uint64_t pos = slot.start;
     lock.unlock();
     std::size_t got = 0;
-    Status status = file_->ReadAt(pos, slot.data.size(), slot.data.data(),
-                                  &got);
+    uint64_t retries = 0;
+    Status status = RunWithRetry(
+        options_.retry,
+        [&] {
+          return file_->ReadAt(pos, slot.data.size(), slot.data.data(), &got);
+        },
+        &retries);
     lock.lock();
+    background_io_.read_retries += retries;
     if (status.ok()) {
       slot.len = got;
       slot.valid = got > 0;

@@ -28,6 +28,7 @@
 #include "common/status.h"
 #include "io/env.h"
 #include "io/io_stats.h"
+#include "io/retry_policy.h"
 #include "io/tile_cache.h"
 
 namespace era {
@@ -68,6 +69,10 @@ struct StringReaderOptions {
   /// traffic its misses cause. The cache must have been opened on the same
   /// path this reader is opened on.
   std::shared_ptr<TileCache> tile_cache;
+  /// Transient device-read faults (IOError only — never Corruption) are
+  /// retried with exponential backoff before the scan fails; absorbed
+  /// retries are tallied into IoStats::read_retries.
+  RetryPolicy retry;
 };
 
 /// One read of a batched fetch. `out` must have room for `len` bytes; `got`

@@ -118,7 +118,14 @@ StatusOr<std::shared_ptr<const CachedTile>> TileCache::LoadAndMaybeAdmit(
   auto tile = std::make_shared<CachedTile>();
   tile->data.resize(want);
   std::size_t got = 0;
-  ERA_RETURN_NOT_OK(file_->ReadAt(offset, want, tile->data.data(), &got));
+  uint64_t retries = 0;
+  ERA_RETURN_NOT_OK(RunWithRetry(
+      options_.retry,
+      [&] { return file_->ReadAt(offset, want, tile->data.data(), &got); },
+      &retries));
+  if (retries > 0) {
+    read_retries_.fetch_add(retries, std::memory_order_relaxed);
+  }
   tile->data.resize(got);
   device_bytes_read_.fetch_add(got, std::memory_order_relaxed);
   if (got == 0 || !admit) {
@@ -223,7 +230,14 @@ Status TileCache::ReadAt(uint64_t offset, std::size_t n, char* scratch,
     // requested span — a miss must never amplify the device traffic the
     // uncached path would have produced.
     std::size_t got = 0;
-    ERA_RETURN_NOT_OK(file_->ReadAt(pos, take, scratch + written, &got));
+    uint64_t retries = 0;
+    ERA_RETURN_NOT_OK(RunWithRetry(
+        options_.retry,
+        [&] { return file_->ReadAt(pos, take, scratch + written, &got); },
+        &retries));
+    if (retries > 0) {
+      read_retries_.fetch_add(retries, std::memory_order_relaxed);
+    }
     device_bytes_read_.fetch_add(got, std::memory_order_relaxed);
     if (got < take) {
       return Status::Internal("tile cache bypass read came back short");
@@ -257,6 +271,7 @@ TileCache::Snapshot TileCache::stats() const {
   }
   snapshot.device_bytes_read =
       device_bytes_read_.load(std::memory_order_relaxed);
+  snapshot.read_retries = read_retries_.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -43,6 +43,7 @@
 
 #include "common/status.h"
 #include "io/env.h"
+#include "io/retry_policy.h"
 
 namespace era {
 
@@ -59,6 +60,10 @@ struct TileCacheOptions {
   /// Independently locked shards (tile index modulo shards, so neighboring
   /// tiles of one sequential scan land in different shards).
   uint32_t shards = 8;
+  /// Transient device-read faults (IOError only) under cache loads and
+  /// bypass reads are retried with exponential backoff; absorbed retries
+  /// show up in Snapshot::read_retries.
+  RetryPolicy retry;
 };
 
 /// One cached tile. `data.size()` is the valid length (short only for the
@@ -106,6 +111,8 @@ class TileCache {
     /// Misses served from the device without admission (the would-be victim
     /// had proven reuse; see the scan-resistance note above).
     uint64_t bypasses = 0;
+    /// Transient device-read faults absorbed by the retry policy.
+    uint64_t read_retries = 0;
     uint64_t resident_bytes = 0;
     uint64_t resident_tiles = 0;
   };
@@ -162,6 +169,7 @@ class TileCache {
   const uint64_t per_shard_budget_;
   std::vector<Shard> shards_;
   std::atomic<uint64_t> device_bytes_read_{0};
+  std::atomic<uint64_t> read_retries_{0};
 };
 
 /// RandomAccessFile adapter serving all reads through `cache` (both Read and

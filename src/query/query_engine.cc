@@ -98,6 +98,26 @@ QueryStats QueryEngine::stats() const {
   return stats_;
 }
 
+std::map<uint32_t, uint64_t> QueryEngine::quarantine() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_;
+}
+
+StatusOr<std::shared_ptr<const CountedTree>>
+QueryEngine::OpenSubTreeOrQuarantine(uint32_t id, Session* session) {
+  auto tree = index_.OpenSubTree(env_, id, &session->io);
+  if (tree.ok()) return tree;
+  // The cache never admits a failed load (tree_index.cc), so the damage is
+  // observed fresh on every attempt and repair needs no restart.
+  ++session->stats.unavailable_queries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++quarantine_[id];
+  }
+  return Status::Unavailable("sub-tree " + std::to_string(id) +
+                             " unavailable: " + tree.status().ToString());
+}
+
 QueryEngine::Lease::~Lease() {
   if (session_ != nullptr && engine_ != nullptr) {
     engine_->ReleaseSession(std::move(session_));
@@ -192,8 +212,8 @@ StatusOr<uint64_t> QueryEngine::CountWithSession(Session* session,
   const PrefixTrie::Node& node = index_.trie().node(walk.node);
   if (node.subtree_id < 0) return 0;  // fell off the trie: no occurrences
   ERA_ASSIGN_OR_RETURN(
-      auto tree, index_.OpenSubTree(env_, static_cast<uint32_t>(node.subtree_id),
-                                    &session->io));
+      auto tree, OpenSubTreeOrQuarantine(
+                     static_cast<uint32_t>(node.subtree_id), session));
   ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
                        MatchInSubTree(*tree, pattern, session));
   if (!match.matched) return 0;
@@ -216,8 +236,8 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
       if (entry.subtree_id >= 0) {
         ERA_ASSIGN_OR_RETURN(
             auto tree,
-            index_.OpenSubTree(env_, static_cast<uint32_t>(entry.subtree_id),
-                               &session->io));
+            OpenSubTreeOrQuarantine(static_cast<uint32_t>(entry.subtree_id),
+                                    session));
         CollectLeaves(*tree, 0, &hits);
       } else {
         hits.push_back(entry.leaf_position);
@@ -229,9 +249,8 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
       return hits;  // fell off the trie: no occurrences
     }
     ERA_ASSIGN_OR_RETURN(
-        auto tree, index_.OpenSubTree(
-                       env_, static_cast<uint32_t>(node.subtree_id),
-                       &session->io));
+        auto tree, OpenSubTreeOrQuarantine(
+                       static_cast<uint32_t>(node.subtree_id), session));
     // Sub-tree labels carry the full path from the global root, so match
     // the whole pattern inside the sub-tree.
     ERA_ASSIGN_OR_RETURN(SubTreeMatch match,

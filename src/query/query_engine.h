@@ -17,6 +17,7 @@
 #ifndef ERA_QUERY_QUERY_ENGINE_H_
 #define ERA_QUERY_QUERY_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -49,12 +50,17 @@ struct QueryStats {
   uint64_t nodes_visited = 0;
   /// Leaf records materialized (Locate only; Count never enumerates).
   uint64_t leaves_enumerated = 0;
+  /// Queries answered Unavailable because their sub-tree could not be
+  /// loaded (corrupt or unreadable after retries). The failure is per-query:
+  /// patterns routed to healthy sub-trees keep succeeding.
+  uint64_t unavailable_queries = 0;
 
   void Add(const QueryStats& other) {
     queries += other.queries;
     trie_resolved_counts += other.trie_resolved_counts;
     nodes_visited += other.nodes_visited;
     leaves_enumerated += other.leaves_enumerated;
+    unavailable_queries += other.unavailable_queries;
   }
 };
 
@@ -95,6 +101,10 @@ class QueryEngine {
   QueryStats stats() const;
   /// Snapshot of the sub-tree cache (hits/misses/evictions/residency).
   TreeIndex::CacheSnapshot cache() const { return index_.CacheStats(); }
+  /// Sub-trees whose loads have failed, with failure counts — the serving
+  /// blast radius of on-disk damage. Failed loads are never cached, so a
+  /// repaired file starts serving again without a restart.
+  std::map<uint32_t, uint64_t> quarantine() const;
 
  private:
   /// One pooled serving session: a private text reader plus the stat sinks
@@ -127,6 +137,12 @@ class QueryEngine {
   StatusOr<std::unique_ptr<Session>> AcquireSession();
   void ReleaseSession(std::unique_ptr<Session> session);
 
+  /// OpenSubTree with serving degradation: a failed load is recorded in the
+  /// quarantine map and surfaced as Unavailable naming the sub-tree, so one
+  /// damaged file fails its own queries instead of the process.
+  StatusOr<std::shared_ptr<const CountedTree>> OpenSubTreeOrQuarantine(
+      uint32_t id, Session* session);
+
   StatusOr<uint64_t> CountWithSession(Session* session,
                                       const std::string& pattern);
   StatusOr<std::vector<uint64_t>> LocateWithSession(Session* session,
@@ -155,6 +171,7 @@ class QueryEngine {
   std::vector<std::unique_ptr<Session>> pool_;
   IoStats io_;
   QueryStats stats_;
+  std::map<uint32_t, uint64_t> quarantine_;  // subtree id -> failed loads
 };
 
 /// Collects the leaf ids under `node` in DFS (lexicographic) order, up to

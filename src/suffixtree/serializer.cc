@@ -36,7 +36,8 @@ uint32_t PayloadCrc(uint32_t version, const std::string& prefix,
 Status WritePayload(Env* env, const std::string& path,
                     const std::string& prefix, uint32_t version,
                     const void* nodes, uint64_t node_count,
-                    std::size_t node_bytes, IoStats* stats) {
+                    std::size_t node_bytes, IoStats* stats,
+                    uint32_t* file_crc) {
   Header header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
   header.version = version;
@@ -45,13 +46,18 @@ Status WritePayload(Env* env, const std::string& path,
   header.reserved = 0;
   header.crc = PayloadCrc(version, prefix, nodes, node_bytes);
 
-  ERA_ASSIGN_OR_RETURN(auto file, env->NewWritable(path));
+  // Atomic + durable: stream into <path>.tmp, Sync, rename. A crash leaves
+  // either no file or the complete file, never a torn sub-tree a serving
+  // TreeIndex could open.
+  ERA_ASSIGN_OR_RETURN(AtomicFileWriter writer,
+                       AtomicFileWriter::Open(env, path));
+  ERA_RETURN_NOT_OK(writer.Append(reinterpret_cast<const char*>(&header),
+                                  sizeof(header)));
+  ERA_RETURN_NOT_OK(writer.Append(prefix.data(), prefix.size()));
   ERA_RETURN_NOT_OK(
-      file->Append(reinterpret_cast<const char*>(&header), sizeof(header)));
-  ERA_RETURN_NOT_OK(file->Append(prefix.data(), prefix.size()));
-  ERA_RETURN_NOT_OK(
-      file->Append(static_cast<const char*>(nodes), node_bytes));
-  ERA_RETURN_NOT_OK(file->Close());
+      writer.Append(static_cast<const char*>(nodes), node_bytes));
+  ERA_RETURN_NOT_OK(writer.Commit());
+  if (file_crc != nullptr) *file_crc = writer.crc32c();
   if (stats != nullptr) {
     stats->bytes_written += sizeof(header) + prefix.size() + node_bytes;
   }
@@ -126,16 +132,17 @@ Status ReadPayload(Env* env, const std::string& path,
 
 Status WriteCountedSubTree(Env* env, const std::string& path,
                            const std::string& prefix, const CountedTree& tree,
-                           IoStats* stats) {
+                           IoStats* stats, uint32_t* file_crc) {
   return WritePayload(env, path, prefix, kVersionCounted, tree.nodes().data(),
-                      tree.size(), tree.size() * sizeof(CountedNode), stats);
+                      tree.size(), tree.size() * sizeof(CountedNode), stats,
+                      file_crc);
 }
 
 Status WriteSubTree(Env* env, const std::string& path,
                     const std::string& prefix, const TreeBuffer& tree,
-                    IoStats* stats) {
+                    IoStats* stats, uint32_t* file_crc) {
   ERA_ASSIGN_OR_RETURN(CountedTree counted, BuildCountedTree(tree));
-  return WriteCountedSubTree(env, path, prefix, counted, stats);
+  return WriteCountedSubTree(env, path, prefix, counted, stats, file_crc);
 }
 
 Status WriteSubTreeV1(Env* env, const std::string& path,
@@ -143,7 +150,7 @@ Status WriteSubTreeV1(Env* env, const std::string& path,
                       IoStats* stats) {
   return WritePayload(env, path, prefix, kVersionLinked, tree.nodes().data(),
                       tree.size(), tree.nodes().size() * sizeof(TreeNode),
-                      stats);
+                      stats, nullptr);
 }
 
 Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,

@@ -24,15 +24,19 @@
 namespace era {
 
 /// Writes `tree` for S-prefix `prefix` to `path` in format v2 (converting to
-/// the counted layout). Billed to `stats` if given.
+/// the counted layout). The file is published atomically and durably
+/// (temp + Sync + rename): a crash mid-write never leaves a readable torn
+/// file at `path`. Billed to `stats` if given. `file_crc` (optional)
+/// receives the CRC-32C of the complete file as written — the checksum the
+/// build checkpoint records.
 Status WriteSubTree(Env* env, const std::string& path,
                     const std::string& prefix, const TreeBuffer& tree,
-                    IoStats* stats);
+                    IoStats* stats, uint32_t* file_crc = nullptr);
 
-/// Writes an already-counted tree to `path` in format v2.
+/// Writes an already-counted tree to `path` in format v2 (atomic + durable).
 Status WriteCountedSubTree(Env* env, const std::string& path,
                            const std::string& prefix, const CountedTree& tree,
-                           IoStats* stats);
+                           IoStats* stats, uint32_t* file_crc = nullptr);
 
 /// Writes `tree` in the legacy v1 format (linked TreeNode array). Kept for
 /// round-trip tests and for generating compat fixtures; builders use

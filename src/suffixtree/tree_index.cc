@@ -1,7 +1,9 @@
 #include "suffixtree/tree_index.h"
 
+#include <cstdlib>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "suffixtree/serializer.h"
 
 namespace era {
@@ -57,7 +59,13 @@ Status TreeIndex::Save(Env* env, const std::string& dir) const {
        << "\n";
   }
   os << "trie: " << HexEncode(trie_.Serialize()) << "\n";
-  return env->WriteFile(dir + "/MANIFEST", os.str());
+  // Whole-file checksum line (over everything above) + atomic durable
+  // publish: a reader either sees a complete, checksum-valid MANIFEST or
+  // none at all.
+  std::string body = os.str();
+  std::ostringstream manifest;
+  manifest << body << "crc: " << Crc32c(body.data(), body.size()) << "\n";
+  return AtomicallyWriteFile(env, dir + "/MANIFEST", manifest.str());
 }
 
 StatusOr<TreeIndex> TreeIndex::Load(Env* env, const std::string& dir) {
@@ -69,12 +77,27 @@ StatusOr<TreeIndex> TreeIndex::Load(Env* env, const std::string& dir) {
   std::istringstream is(manifest);
   std::string line;
   bool saw_format = false;
+  bool saw_crc = false;
   while (std::getline(is, line)) {
     std::size_t colon = line.find(": ");
     if (colon == std::string::npos) continue;
     std::string key = line.substr(0, colon);
     std::string value = line.substr(colon + 2);
-    if (key == "format") {
+    if (key == "crc") {
+      // Checksum of every byte before this line (which Save emits last).
+      std::size_t line_pos = manifest.rfind("\n" + line);
+      std::string body = line_pos == std::string::npos
+                             ? std::string()
+                             : manifest.substr(0, line_pos + 1);
+      char* end = nullptr;
+      uint32_t declared =
+          static_cast<uint32_t>(std::strtoull(value.c_str(), &end, 10));
+      if (end == value.c_str() ||
+          Crc32c(body.data(), body.size()) != declared) {
+        return Status::Corruption("MANIFEST checksum mismatch in " + dir);
+      }
+      saw_crc = true;
+    } else if (key == "format") {
       if (value != "era-tree-index-v1") {
         return Status::NotSupported("unknown index format: " + value);
       }
@@ -97,7 +120,12 @@ StatusOr<TreeIndex> TreeIndex::Load(Env* env, const std::string& dir) {
       ERA_ASSIGN_OR_RETURN(index.trie_, PrefixTrie::Deserialize(blob));
     }
   }
-  if (!saw_format) return Status::Corruption("manifest missing format line");
+  if (!saw_format) {
+    return Status::Corruption("manifest missing format line in " + dir);
+  }
+  if (!saw_crc) {
+    return Status::Corruption("manifest missing checksum line in " + dir);
+  }
   return index;
 }
 
@@ -121,12 +149,22 @@ StatusOr<std::shared_ptr<const CountedTree>> TreeIndex::OpenSubTree(
 
   // Load outside the shard lock so a slow device never serializes the other
   // ids of this shard (concurrent misses on the same id may duplicate the
-  // read; the insert below keeps exactly one copy).
+  // read; the insert below keeps exactly one copy). Transient device errors
+  // are retried; Corruption fails straight through (and is never inserted
+  // into the cache below).
   auto tree = std::make_shared<CountedTree>();
   std::string prefix;
-  ERA_RETURN_NOT_OK(ReadCountedSubTree(env,
-                                       dir_ + "/" + subtrees_[id].filename,
-                                       tree.get(), &prefix, stats));
+  const std::string path = dir_ + "/" + subtrees_[id].filename;
+  uint64_t retries = 0;
+  Status load = RunWithRetry(
+      cache.options.retry,
+      [&] {
+        tree->mutable_nodes().clear();
+        return ReadCountedSubTree(env, path, tree.get(), &prefix, stats);
+      },
+      &retries);
+  if (stats != nullptr) stats->read_retries += retries;
+  ERA_RETURN_NOT_OK(load);
   if (prefix != subtrees_[id].prefix) {
     return Status::Corruption("sub-tree prefix mismatch for id " +
                               std::to_string(id));

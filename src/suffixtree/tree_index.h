@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "io/env.h"
 #include "io/io_stats.h"
+#include "io/retry_policy.h"
 #include "suffixtree/tree_buffer.h"
 #include "suffixtree/trie.h"
 #include "text/corpus.h"
@@ -44,6 +45,9 @@ struct TreeCacheOptions {
   uint64_t budget_bytes = 64ull << 20;
   /// Number of independently locked shards (sub-tree id modulo shards).
   uint32_t shards = 8;
+  /// Retry schedule for sub-tree loads. Only IOError is retried; a
+  /// Corruption (bad checksum) fails immediately and is never cached.
+  RetryPolicy retry;
 };
 
 /// Disk layout:

@@ -2,6 +2,18 @@
 //
 //   era_cli build  <text-file> <index-dir> [--budget-mb N] [--alphabet dna|
 //                  protein|english] [--threads N] [--algorithm era|wavefront]
+//                  [--resume] [--no-checkpoint] [--faults SPEC]
+//
+// --faults injects deterministic failures through io/faulty_env.h. SPEC is
+// comma-separated key=value pairs, e.g.
+//   --faults=read_transient=0.01,enospc_after=64MB,seed=7
+// keys: read_transient / write_transient / short_write (probabilities),
+// fail_read_at / fail_write_at / crash_after_writes / torn_write_at / seed
+// (1-based call counts), read_permanent / write_permanent (0/1),
+// enospc_after (bytes, K/M/G suffixes), path (substring filter).
+//
+// Exit codes: 0 success, 1 failure, 2 usage error, 3 I/O error — so drills
+// and CI can tell a bad invocation from a bad device.
 //   era_cli query  <index-dir> <pattern> [--limit N]
 //   era_cli stats  <index-dir>
 //   era_cli verify <index-dir>            (loads text + validates everything)
@@ -20,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +41,7 @@
 #include "era/era_builder.h"
 #include "era/parallel_builder.h"
 #include "io/env.h"
+#include "io/faulty_env.h"
 #include "query/query_engine.h"
 #include "query/query_workload.h"
 #include "suffixtree/validator.h"
@@ -45,7 +59,11 @@ int Usage() {
       "  era_cli build  <text-file> <index-dir> [--budget-mb N]\n"
       "                 [--alphabet dna|protein|english] [--threads N]\n"
       "                 [--algorithm era|wavefront] [--cache-budget MB]\n"
-      "                 [--no-tile-cache]\n"
+      "                 [--no-tile-cache] [--resume] [--no-checkpoint]\n"
+      "                 [--faults SPEC]\n"
+      "       (--resume skips groups an earlier killed build completed;\n"
+      "        --faults injects deterministic failures, e.g.\n"
+      "        read_transient=0.01,enospc_after=64MB,seed=7)\n"
       "  era_cli query  <index-dir> <pattern> [--limit N]\n"
       "  era_cli stats  <index-dir>\n"
       "  era_cli verify <index-dir>\n"
@@ -65,7 +83,9 @@ int Usage() {
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  // I/O failures exit 3 so scripts can separate "device/file problem"
+  // (retryable, maybe --resume) from logic failures (exit 1).
+  return status.IsIOError() ? 3 : 1;
 }
 
 StatusOr<Alphabet> ParseAlphabet(const std::string& name) {
@@ -75,13 +95,25 @@ StatusOr<Alphabet> ParseAlphabet(const std::string& name) {
   return Status::InvalidArgument("unknown alphabet: " + name);
 }
 
-/// Returns the value of --flag from args, or `fallback`.
+/// Returns the value of --flag from args (either "--flag value" or
+/// "--flag=value"), or `fallback`.
 std::string FlagValue(const std::vector<std::string>& args,
                       const std::string& flag, const std::string& fallback) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == flag) return args[i + 1];
+  const std::string prefix = flag + "=";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == flag && i + 1 < args.size()) return args[i + 1];
+    if (args[i].compare(0, prefix.size(), prefix) == 0) {
+      return args[i].substr(prefix.size());
+    }
   }
   return fallback;
+}
+
+bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const std::string& arg : args) {
+    if (arg == flag) return true;
+  }
+  return false;
 }
 
 int CmdBuild(const std::vector<std::string>& args) {
@@ -101,9 +133,17 @@ int CmdBuild(const std::vector<std::string>& args) {
   std::string algorithm = FlagValue(args, "--algorithm", "era");
   uint64_t cache_budget_mb = std::strtoull(
       FlagValue(args, "--cache-budget", "0").c_str(), nullptr, 10);
-  bool tile_cache = true;
-  for (const std::string& arg : args) {
-    if (arg == "--no-tile-cache") tile_cache = false;
+  const bool tile_cache = !HasFlag(args, "--no-tile-cache");
+
+  // Fault injection: wrap the whole build's filesystem in a FaultyEnv so
+  // the drill exercises the same code paths production failures would.
+  std::unique_ptr<FaultyEnv> faulty;
+  const std::string fault_spec = FlagValue(args, "--faults", "");
+  if (!fault_spec.empty()) {
+    auto spec = ParseFaultSpec(fault_spec);
+    if (!spec.ok()) return Fail(spec.status());
+    faulty = std::make_unique<FaultyEnv>(env, *spec);
+    env = faulty.get();
   }
 
   // Ensure the text ends with the terminal.
@@ -132,27 +172,35 @@ int CmdBuild(const std::vector<std::string>& args) {
   options.memory_budget = budget;
   options.tile_cache = tile_cache;
   options.tile_cache_budget_bytes = cache_budget_mb << 20;
+  options.env = env;
+  options.resume = HasFlag(args, "--resume");
+  options.checkpoint = !HasFlag(args, "--no-checkpoint");
 
   BuildStats stats;
+  Status build_status;
   if (algorithm == "wavefront" && threads <= 1) {
     WaveFrontBuilder builder(options);
     auto result = builder.Build(info);
-    if (!result.ok()) return Fail(result.status());
-    stats = result->stats;
+    build_status = result.status();
+    if (result.ok()) stats = result->stats;
   } else if (threads > 1) {
     ParallelAlgorithm pa = algorithm == "wavefront"
                                ? ParallelAlgorithm::kWaveFront
                                : ParallelAlgorithm::kEra;
     ParallelBuilder builder(options, threads, pa);
     auto result = builder.Build(info);
-    if (!result.ok()) return Fail(result.status());
-    stats = result->stats;
+    build_status = result.status();
+    if (result.ok()) stats = result->stats;
   } else {
     EraBuilder builder(options);
     auto result = builder.Build(info);
-    if (!result.ok()) return Fail(result.status());
-    stats = result->stats;
+    build_status = result.status();
+    if (result.ok()) stats = result->stats;
   }
+  if (faulty != nullptr) {
+    std::printf("faults: %s\n", faulty->stats().ToString().c_str());
+  }
+  if (!build_status.ok()) return Fail(build_status);
   std::printf("%s\n", stats.ToString().c_str());
   const uint64_t refills = stats.io.prefetch_hits + stats.io.prefetch_misses;
   std::printf(

@@ -103,6 +103,57 @@ TEST_P(EnvKinds, OverwriteReplacesContent) {
   EXPECT_EQ(content, "new");
 }
 
+TEST_P(EnvKinds, RenameFileReplacesTarget) {
+  std::string from = base_ + "/rename_src";
+  std::string to = base_ + "/rename_dst";
+  ASSERT_TRUE(env_->WriteFile(from, "fresh").ok());
+  ASSERT_TRUE(env_->WriteFile(to, "stale").ok());
+  ASSERT_TRUE(env_->RenameFile(from, to).ok());
+  EXPECT_FALSE(env_->FileExists(from));
+  std::string content;
+  ASSERT_TRUE(env_->ReadFileToString(to, &content).ok());
+  EXPECT_EQ(content, "fresh");
+  EXPECT_FALSE(env_->RenameFile(base_ + "/nope", to).ok());
+}
+
+TEST_P(EnvKinds, WritableSyncSucceeds) {
+  std::string path = base_ + "/synced";
+  auto file = env_->NewWritable(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("def").ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  std::string content;
+  ASSERT_TRUE(env_->ReadFileToString(path, &content).ok());
+  EXPECT_EQ(content, "abcdef");
+}
+
+TEST_P(EnvKinds, AtomicallyWriteFilePublishesAndReportsCrc) {
+  std::string path = base_ + "/atomic";
+  uint32_t crc = 0;
+  ASSERT_TRUE(AtomicallyWriteFile(env_, path, "durable payload", &crc).ok());
+  std::string content;
+  ASSERT_TRUE(env_->ReadFileToString(path, &content).ok());
+  EXPECT_EQ(content, "durable payload");
+  EXPECT_NE(crc, 0u);
+  EXPECT_FALSE(env_->FileExists(path + ".tmp")) << "temp must not survive";
+  // Overwrite is atomic-replace, not append.
+  ASSERT_TRUE(AtomicallyWriteFile(env_, path, "v2", nullptr).ok());
+  ASSERT_TRUE(env_->ReadFileToString(path, &content).ok());
+  EXPECT_EQ(content, "v2");
+}
+
+TEST_P(EnvKinds, AtomicFileWriterAbandonLeavesNothing) {
+  std::string path = base_ + "/abandoned";
+  auto writer = AtomicFileWriter::Open(env_, path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->Append("partial").ok());
+  writer->Abandon();
+  EXPECT_FALSE(env_->FileExists(path));
+  EXPECT_FALSE(env_->FileExists(path + ".tmp"));
+}
+
 INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvKinds, ::testing::Values(true, false),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "MemEnv" : "PosixEnv";
