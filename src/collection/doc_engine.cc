@@ -29,13 +29,29 @@ Status DocEngine::ValidatePattern(const std::string& pattern) const {
   return Status::OK();
 }
 
+void DocEngine::ClassifyFailure(const Status& status, DocQueryStats* stats) {
+  if (status.IsUnavailable()) {
+    ++stats->unavailable_queries;
+  } else if (status.IsDeadlineExceeded() || status.IsCancelled()) {
+    ++stats->deadline_exceeded;
+  } else if (status.IsResourceExhausted()) {
+    ++stats->shed;
+  }
+}
+
 StatusOr<std::vector<DocHit>> DocEngine::HistogramWithStats(
-    const std::string& pattern, DocQueryStats* stats) {
+    const QueryContext& ctx, const std::string& pattern,
+    DocQueryStats* stats) {
   ERA_RETURN_NOT_OK(ValidatePattern(pattern));
   ++stats->queries;
   // All occurrences, from the match node's contiguous descendant leaf-slot
   // range (ascending after Locate's sort).
-  ERA_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets, engine_->Locate(pattern));
+  auto located = engine_->Locate(ctx, pattern);
+  if (!located.ok()) {
+    ClassifyFailure(located.status(), stats);
+    return located.status();
+  }
+  std::vector<uint64_t> offsets = std::move(*located);
 
   // Offsets ascend and document spans ascend, so grouping by document is a
   // single forward pass; Resolve's binary search only re-runs when an offset
@@ -80,15 +96,25 @@ DocQueryStats DocEngine::doc_stats() const {
 
 StatusOr<std::vector<DocHit>> DocEngine::DocumentHistogram(
     const std::string& pattern) {
+  return DocumentHistogram(QueryContext::Background(), pattern);
+}
+
+StatusOr<std::vector<DocHit>> DocEngine::DocumentHistogram(
+    const QueryContext& ctx, const std::string& pattern) {
   DocQueryStats stats;
-  auto histogram = HistogramWithStats(pattern, &stats);
+  auto histogram = HistogramWithStats(ctx, pattern, &stats);
   FoldStats(stats);
   return histogram;
 }
 
 StatusOr<uint64_t> DocEngine::CountDocs(const std::string& pattern) {
+  return CountDocs(QueryContext::Background(), pattern);
+}
+
+StatusOr<uint64_t> DocEngine::CountDocs(const QueryContext& ctx,
+                                        const std::string& pattern) {
   ERA_ASSIGN_OR_RETURN(std::vector<DocHit> histogram,
-                       DocumentHistogram(pattern));
+                       DocumentHistogram(ctx, pattern));
   return static_cast<uint64_t>(histogram.size());
 }
 
@@ -107,20 +133,36 @@ std::vector<DocHit> TopKFromHistogram(std::vector<DocHit> histogram,
 
 StatusOr<std::vector<DocHit>> DocEngine::TopKDocuments(
     const std::string& pattern, std::size_t k) {
+  return TopKDocuments(QueryContext::Background(), pattern, k);
+}
+
+StatusOr<std::vector<DocHit>> DocEngine::TopKDocuments(
+    const QueryContext& ctx, const std::string& pattern, std::size_t k) {
   ERA_ASSIGN_OR_RETURN(std::vector<DocHit> histogram,
-                       DocumentHistogram(pattern));
+                       DocumentHistogram(ctx, pattern));
   return TopKFromHistogram(std::move(histogram), k);
 }
 
 StatusOr<std::vector<uint64_t>> DocEngine::LocateInDoc(
     const std::string& pattern, uint32_t doc_id) {
+  return LocateInDoc(QueryContext::Background(), pattern, doc_id);
+}
+
+StatusOr<std::vector<uint64_t>> DocEngine::LocateInDoc(
+    const QueryContext& ctx, const std::string& pattern, uint32_t doc_id) {
   if (doc_id >= documents_.num_documents()) {
     return Status::InvalidArgument("document id out of range");
   }
   ERA_RETURN_NOT_OK(ValidatePattern(pattern));
   DocQueryStats stats;
   ++stats.queries;
-  ERA_ASSIGN_OR_RETURN(std::vector<uint64_t> offsets, engine_->Locate(pattern));
+  auto located = engine_->Locate(ctx, pattern);
+  if (!located.ok()) {
+    ClassifyFailure(located.status(), &stats);
+    FoldStats(stats);
+    return located.status();
+  }
+  std::vector<uint64_t> offsets = std::move(*located);
   const DocumentSpan& doc = documents_.document(doc_id);
   // Offsets are ascending: the document's occurrences are one contiguous
   // run, found by binary search.
@@ -139,11 +181,16 @@ StatusOr<std::vector<uint64_t>> DocEngine::LocateInDoc(
 
 StatusOr<std::vector<uint64_t>> DocEngine::CountDocsBatch(
     const std::vector<std::string>& patterns) {
+  return CountDocsBatch(QueryContext::Background(), patterns);
+}
+
+StatusOr<std::vector<uint64_t>> DocEngine::CountDocsBatch(
+    const QueryContext& ctx, const std::vector<std::string>& patterns) {
   DocQueryStats stats;
   std::vector<uint64_t> counts;
   counts.reserve(patterns.size());
   for (const std::string& pattern : patterns) {
-    auto histogram = HistogramWithStats(pattern, &stats);
+    auto histogram = HistogramWithStats(ctx, pattern, &stats);
     if (!histogram.ok()) {
       FoldStats(stats);
       return histogram.status();
@@ -156,11 +203,17 @@ StatusOr<std::vector<uint64_t>> DocEngine::CountDocsBatch(
 
 StatusOr<std::vector<std::vector<DocHit>>> DocEngine::TopKDocumentsBatch(
     const std::vector<std::string>& patterns, std::size_t k) {
+  return TopKDocumentsBatch(QueryContext::Background(), patterns, k);
+}
+
+StatusOr<std::vector<std::vector<DocHit>>> DocEngine::TopKDocumentsBatch(
+    const QueryContext& ctx, const std::vector<std::string>& patterns,
+    std::size_t k) {
   DocQueryStats stats;
   std::vector<std::vector<DocHit>> results;
   results.reserve(patterns.size());
   for (const std::string& pattern : patterns) {
-    auto histogram = HistogramWithStats(pattern, &stats);
+    auto histogram = HistogramWithStats(ctx, pattern, &stats);
     if (!histogram.ok()) {
       FoldStats(stats);
       return histogram.status();

@@ -19,6 +19,7 @@
 #ifndef ERA_COLLECTION_DOC_ENGINE_H_
 #define ERA_COLLECTION_DOC_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -41,7 +42,8 @@ struct DocHit {
 };
 
 /// Aggregate counters for the document-query path (tree-walk work is in the
-/// underlying QueryEngine's QueryStats; these count catalog work).
+/// underlying QueryEngine's QueryStats; these count catalog work and
+/// serving degradation as seen by collection callers).
 struct DocQueryStats {
   /// Completed doc-level calls (batch items count individually).
   uint64_t queries = 0;
@@ -52,12 +54,24 @@ struct DocQueryStats {
   uint64_t offsets_outside_documents = 0;
   /// Sum over queries of distinct matching documents.
   uint64_t docs_matched = 0;
+  /// Doc queries that failed Unavailable (their sub-tree is quarantined
+  /// below; see DocEngine::quarantine()).
+  uint64_t unavailable_queries = 0;
+  /// Doc queries abandoned by their caller — deadline expiry or
+  /// cancellation (both are "the caller stopped waiting"; the split is in
+  /// serving().deadline_exceeded vs serving().cancelled).
+  uint64_t deadline_exceeded = 0;
+  /// Doc queries refused by admission control (ResourceExhausted).
+  uint64_t shed = 0;
 
   void Add(const DocQueryStats& other) {
     queries += other.queries;
     offsets_resolved += other.offsets_resolved;
     offsets_outside_documents += other.offsets_outside_documents;
     docs_matched += other.docs_matched;
+    unavailable_queries += other.unavailable_queries;
+    deadline_exceeded += other.deadline_exceeded;
+    shed += other.shed;
   }
 };
 
@@ -70,28 +84,48 @@ class DocEngine {
       const QueryEngineOptions& options = QueryEngineOptions{});
 
   /// Number of distinct documents containing `pattern` (document frequency).
+  /// Every call also has a QueryContext overload: the context's deadline and
+  /// cancellation apply to the underlying Locate (checked at node-visit and
+  /// device-read boundaries) and the call passes through admission control.
   StatusOr<uint64_t> CountDocs(const std::string& pattern);
+  StatusOr<uint64_t> CountDocs(const QueryContext& ctx,
+                               const std::string& pattern);
 
   /// The `k` documents with the most occurrences of `pattern`, ordered by
   /// descending occurrence count, ties by ascending doc id. Fewer than `k`
   /// entries when fewer documents match.
   StatusOr<std::vector<DocHit>> TopKDocuments(const std::string& pattern,
                                               std::size_t k);
+  StatusOr<std::vector<DocHit>> TopKDocuments(const QueryContext& ctx,
+                                              const std::string& pattern,
+                                              std::size_t k);
 
   /// Occurrence offsets of `pattern` WITHIN document `doc_id` (document-
   /// local coordinates), ascending.
   StatusOr<std::vector<uint64_t>> LocateInDoc(const std::string& pattern,
                                               uint32_t doc_id);
+  StatusOr<std::vector<uint64_t>> LocateInDoc(const QueryContext& ctx,
+                                              const std::string& pattern,
+                                              uint32_t doc_id);
 
   /// Per-document occurrence histogram for `pattern`, ascending doc id.
   /// (CountDocs/TopKDocuments are views of this.)
   StatusOr<std::vector<DocHit>> DocumentHistogram(const std::string& pattern);
+  StatusOr<std::vector<DocHit>> DocumentHistogram(const QueryContext& ctx,
+                                                  const std::string& pattern);
 
-  /// Batched variants; answers are index-aligned with `patterns`.
+  /// Batched variants; answers are index-aligned with `patterns`. The
+  /// context overloads share one deadline across the batch and stop
+  /// mid-flight when it expires (remaining items are not attempted).
   StatusOr<std::vector<uint64_t>> CountDocsBatch(
       const std::vector<std::string>& patterns);
+  StatusOr<std::vector<uint64_t>> CountDocsBatch(
+      const QueryContext& ctx, const std::vector<std::string>& patterns);
   StatusOr<std::vector<std::vector<DocHit>>> TopKDocumentsBatch(
       const std::vector<std::string>& patterns, std::size_t k);
+  StatusOr<std::vector<std::vector<DocHit>>> TopKDocumentsBatch(
+      const QueryContext& ctx, const std::vector<std::string>& patterns,
+      std::size_t k);
 
   const DocumentMap& documents() const { return documents_; }
   /// The underlying pattern engine (plain Count/Locate over the combined
@@ -99,6 +133,17 @@ class DocEngine {
   QueryEngine& engine() { return *engine_; }
   /// Snapshot of the aggregate document-query counters.
   DocQueryStats doc_stats() const;
+
+  /// Serving-degradation views, re-exported so collection callers see
+  /// quarantined sub-trees and overload counters without reaching into
+  /// engine().
+  std::map<uint32_t, uint64_t> quarantine() const {
+    return engine_->quarantine();
+  }
+  ServingStats serving() const { return engine_->serving(); }
+  /// Graceful shutdown passthroughs (see QueryEngine::Drain).
+  void Drain() { engine_->Drain(); }
+  void Resume() { engine_->Resume(); }
 
  private:
   DocEngine(std::unique_ptr<QueryEngine> engine, DocumentMap documents)
@@ -109,10 +154,14 @@ class DocEngine {
 
   /// Histogram core: one Locate + one merge pass; per-call counters are
   /// accumulated into `stats`.
-  StatusOr<std::vector<DocHit>> HistogramWithStats(const std::string& pattern,
+  StatusOr<std::vector<DocHit>> HistogramWithStats(const QueryContext& ctx,
+                                                   const std::string& pattern,
                                                    DocQueryStats* stats);
 
   void FoldStats(const DocQueryStats& stats);
+
+  /// Bills a failed doc query's status into the degradation counters.
+  static void ClassifyFailure(const Status& status, DocQueryStats* stats);
 
   std::unique_ptr<QueryEngine> engine_;
   DocumentMap documents_;

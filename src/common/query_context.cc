@@ -1,0 +1,35 @@
+#include "common/query_context.h"
+
+#include <limits>
+
+namespace era {
+
+QueryContext QueryContext::WithTimeout(double seconds) {
+  return WithDeadline(Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(seconds)));
+}
+
+QueryContext QueryContext::WithDeadline(Clock::time_point deadline) {
+  QueryContext context;
+  context.deadline = deadline;
+  return context;
+}
+
+const QueryContext& QueryContext::Background() {
+  static const QueryContext* background = new QueryContext();
+  return *background;
+}
+
+double QueryContext::RemainingSeconds() const {
+  if (!has_deadline()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+Status QueryContext::Check() const {
+  if (cancelled()) return Status::Cancelled("query cancelled");
+  if (expired()) return Status::DeadlineExceeded("query deadline exceeded");
+  return Status::OK();
+}
+
+}  // namespace era

@@ -24,6 +24,12 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

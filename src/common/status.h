@@ -27,6 +27,9 @@ class Status {
     kOutOfBudget,
     kInternal,
     kUnavailable,
+    kDeadlineExceeded,
+    kCancelled,
+    kResourceExhausted,
   };
 
   /// Constructs an OK status.
@@ -60,6 +63,21 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  /// The caller's absolute deadline passed before the operation completed.
+  /// Partial work (if any) was abandoned at a read or node boundary.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// The caller's cancellation token fired; the operation stopped early.
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  /// The serving layer refused the request to protect itself (admission
+  /// queue full, or draining). The request was shed before consuming any
+  /// query capacity; retry against another replica or after backoff.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -70,6 +88,11 @@ class Status {
   bool IsOutOfBudget() const { return code_ == Code::kOutOfBudget; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

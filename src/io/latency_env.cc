@@ -1,6 +1,8 @@
 #include "io/latency_env.h"
 
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 namespace era {
@@ -13,14 +15,65 @@ void SleepSeconds(double seconds) {
       std::chrono::duration<double>(seconds));
 }
 
+}  // namespace
+
+/// FIFO counting semaphore: request i may be serviced once fewer than
+/// `depth` of requests [0, i) are still in service. Tickets make the wait
+/// order strict FIFO — a device queue, not a scrum — so the modeled wait
+/// time of an overloaded device is the textbook backlog/throughput, not
+/// whatever the scheduler's wakeup order happens to produce.
+class DeviceChannel {
+ public:
+  explicit DeviceChannel(uint32_t depth) : depth_(depth) {}
+
+  void Acquire() {
+    if (depth_ == 0) return;  // unbounded device
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t ticket = next_ticket_++;
+    cv_.wait(lock, [&] { return ticket < served_ + depth_; });
+  }
+
+  void Release() {
+    if (depth_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++served_;
+    cv_.notify_all();
+  }
+
+ private:
+  const uint32_t depth_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_ticket_ = 0;  // next arrival's ticket
+  uint64_t served_ = 0;       // requests fully serviced
+};
+
+namespace {
+
+/// RAII slot hold spanning one request's base I/O plus its modeled sleep.
+class ChannelSlot {
+ public:
+  explicit ChannelSlot(DeviceChannel* channel) : channel_(channel) {
+    channel_->Acquire();
+  }
+  ~ChannelSlot() { channel_->Release(); }
+  ChannelSlot(const ChannelSlot&) = delete;
+  ChannelSlot& operator=(const ChannelSlot&) = delete;
+
+ private:
+  DeviceChannel* channel_;
+};
+
 class LatencyRandomAccessFile : public RandomAccessFile {
  public:
   LatencyRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
-                          const LatencyModel& model)
-      : base_(std::move(base)), model_(model) {}
+                          const LatencyModel& model,
+                          std::shared_ptr<DeviceChannel> channel)
+      : base_(std::move(base)), model_(model), channel_(std::move(channel)) {}
 
   Status Read(uint64_t offset, std::size_t n, char* scratch,
               std::size_t* out_n) const override {
+    ChannelSlot slot(channel_.get());
     ERA_RETURN_NOT_OK(base_->Read(offset, n, scratch, out_n));
     SleepSeconds(model_.ReadSeconds(*out_n));
     return Status::OK();
@@ -28,6 +81,7 @@ class LatencyRandomAccessFile : public RandomAccessFile {
 
   Status ReadAt(uint64_t offset, std::size_t n, char* scratch,
                 std::size_t* out_n) const override {
+    ChannelSlot slot(channel_.get());
     ERA_RETURN_NOT_OK(base_->ReadAt(offset, n, scratch, out_n));
     SleepSeconds(model_.ReadSeconds(*out_n));
     return Status::OK();
@@ -38,21 +92,25 @@ class LatencyRandomAccessFile : public RandomAccessFile {
  private:
   std::unique_ptr<RandomAccessFile> base_;
   LatencyModel model_;
+  std::shared_ptr<DeviceChannel> channel_;
 };
 
 class LatencyWritableFile : public WritableFile {
  public:
   LatencyWritableFile(std::unique_ptr<WritableFile> base,
-                      const LatencyModel& model)
-      : base_(std::move(base)), model_(model) {}
+                      const LatencyModel& model,
+                      std::shared_ptr<DeviceChannel> channel)
+      : base_(std::move(base)), model_(model), channel_(std::move(channel)) {}
 
   Status Append(const char* data, std::size_t n) override {
+    ChannelSlot slot(channel_.get());
     ERA_RETURN_NOT_OK(base_->Append(data, n));
     SleepSeconds(model_.WriteSeconds(n));
     return Status::OK();
   }
 
   Status Sync() override {
+    ChannelSlot slot(channel_.get());
     ERA_RETURN_NOT_OK(base_->Sync());
     // A flush costs one device round-trip but no transfer (the appends
     // already paid for their bytes).
@@ -65,22 +123,28 @@ class LatencyWritableFile : public WritableFile {
  private:
   std::unique_ptr<WritableFile> base_;
   LatencyModel model_;
+  std::shared_ptr<DeviceChannel> channel_;
 };
 
 }  // namespace
+
+LatencyEnv::LatencyEnv(Env* base, const LatencyModel& model)
+    : base_(base),
+      model_(model),
+      channel_(std::make_shared<DeviceChannel>(model.queue_depth)) {}
 
 StatusOr<std::unique_ptr<RandomAccessFile>> LatencyEnv::OpenRandomAccess(
     const std::string& path) {
   ERA_ASSIGN_OR_RETURN(auto file, base_->OpenRandomAccess(path));
   return std::unique_ptr<RandomAccessFile>(
-      new LatencyRandomAccessFile(std::move(file), model_));
+      new LatencyRandomAccessFile(std::move(file), model_, channel_));
 }
 
 StatusOr<std::unique_ptr<WritableFile>> LatencyEnv::NewWritable(
     const std::string& path) {
   ERA_ASSIGN_OR_RETURN(auto file, base_->NewWritable(path));
   return std::unique_ptr<WritableFile>(
-      new LatencyWritableFile(std::move(file), model_));
+      new LatencyWritableFile(std::move(file), model_, channel_));
 }
 
 bool LatencyEnv::FileExists(const std::string& path) {

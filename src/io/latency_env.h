@@ -33,6 +33,14 @@ struct LatencyModel {
   double read_bytes_per_second = 128.0 * 1024 * 1024;
   /// Transfer bandwidth for writes (bytes/second).
   double write_bytes_per_second = 128.0 * 1024 * 1024;
+  /// Requests the device services concurrently (0 = unbounded, the
+  /// default — every prior bench keeps its behavior). A real device has a
+  /// finite queue depth: requests beyond it wait in FIFO order at the
+  /// device and their wait is real wall time. Bounding it is what makes
+  /// saturation — and therefore overload collapse — observable:
+  /// with unbounded concurrency, offering more load always adds throughput
+  /// and no arrival rate is "above capacity".
+  uint32_t queue_depth = 0;
 
   double ReadSeconds(uint64_t bytes) const {
     return read_latency_seconds +
@@ -44,13 +52,18 @@ struct LatencyModel {
   }
 };
 
+/// The device's service channel: a FIFO counting semaphore shared by every
+/// file the env opens, enforcing LatencyModel::queue_depth. Internal.
+class DeviceChannel;
+
 /// Wraps another Env; all data-plane traffic (RandomAccessFile reads,
-/// WritableFile appends) sleeps for the modeled duration. Metadata
-/// operations pass through untouched. Does not own `base`.
+/// WritableFile appends) sleeps for the modeled duration — and, with a
+/// bounded queue_depth, first waits for one of the device's service slots
+/// (all files opened by one env share the device). Metadata operations pass
+/// through untouched. Does not own `base`.
 class LatencyEnv : public Env {
  public:
-  LatencyEnv(Env* base, const LatencyModel& model)
-      : base_(base), model_(model) {}
+  LatencyEnv(Env* base, const LatencyModel& model);
 
   StatusOr<std::unique_ptr<RandomAccessFile>> OpenRandomAccess(
       const std::string& path) override;
@@ -67,6 +80,7 @@ class LatencyEnv : public Env {
  private:
   Env* base_;
   LatencyModel model_;
+  std::shared_ptr<DeviceChannel> channel_;
 };
 
 }  // namespace era

@@ -30,10 +30,21 @@ double RetryPolicy::BackoffSeconds(uint32_t attempt) const {
 
 Status RunWithRetry(const RetryPolicy& policy,
                     const std::function<Status()>& op, uint64_t* retries) {
+  return RunWithRetry(policy, nullptr, op, retries);
+}
+
+Status RunWithRetry(const RetryPolicy& policy, const QueryContext* ctx,
+                    const std::function<Status()>& op, uint64_t* retries) {
   Status s = op();
   for (uint32_t attempt = 1;
        !s.ok() && s.IsIOError() && attempt < policy.max_attempts; ++attempt) {
     double backoff = policy.BackoffSeconds(attempt);
+    if (ctx != nullptr) {
+      // Return the IOError promptly rather than burn budget the caller no
+      // longer has: a sleep that outlives the deadline helps no one, and a
+      // cancelled caller has stopped listening.
+      if (ctx->cancelled() || ctx->RemainingSeconds() <= backoff) return s;
+    }
     if (backoff > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
     }

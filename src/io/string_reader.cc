@@ -53,6 +53,9 @@ void StringReader::BeginScan(uint64_t start_pos) {
 
 Status StringReader::Refill(uint64_t pos, bool sequential,
                             bool full_window) {
+  // The device-read boundary: an expired or cancelled query abandons here,
+  // before issuing the next window, never mid-transfer.
+  if (context_ != nullptr) ERA_RETURN_NOT_OK(context_->Check());
   std::size_t want = buffer_.size();
   if (!sequential && !full_window) {
     want = std::min<std::size_t>(want, options_.random_window_bytes);
@@ -60,7 +63,7 @@ Status StringReader::Refill(uint64_t pos, bool sequential,
   std::size_t got = 0;
   uint64_t retries = 0;
   ERA_RETURN_NOT_OK(RunWithRetry(
-      options_.retry,
+      options_.retry, context_,
       [&] { return file_->Read(pos, want, buffer_.data(), &got); },
       &retries));
   if (stats_ != nullptr) {
@@ -325,6 +328,9 @@ Status PrefetchingStringReader::Refill(uint64_t pos, bool sequential,
     recovery_refills_ = 0;
     return StringReader::Refill(pos, sequential, full_window);
   }
+  // Same boundary as the base Refill: a ring hit is still a refill, and the
+  // wait on an in-flight slot below should not start for a dead query.
+  if (context_ != nullptr) ERA_RETURN_NOT_OK(context_->Check());
   std::unique_lock<std::mutex> lock(mu_);
   FoldBackgroundIoLocked();
   if (!background_status_.ok()) {

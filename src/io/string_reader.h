@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "io/env.h"
 #include "io/io_stats.h"
@@ -119,6 +120,15 @@ class StringReader {
   /// File size in bytes.
   uint64_t size() const { return file_->Size(); }
 
+  /// Binds the caller's deadline/cancellation context to subsequent reads:
+  /// every window refill checks it before touching the device and its retry
+  /// backoffs never sleep past the deadline. `ctx` is borrowed, not owned —
+  /// it must outlive the binding; pass nullptr to unbind. Consumer-thread
+  /// state: the prefetch ring's background reads deliberately ignore it
+  /// (speculative windows are reusable by the next query, and racing the
+  /// binding against an in-flight background read would be unsound).
+  void SetContext(const QueryContext* ctx) { context_ = ctx; }
+
   virtual ~StringReader() = default;
 
  protected:
@@ -134,6 +144,8 @@ class StringReader {
   std::unique_ptr<RandomAccessFile> file_;
   StringReaderOptions options_;
   IoStats* stats_;
+  /// Borrowed per-query context (see SetContext); nullptr = unbounded.
+  const QueryContext* context_ = nullptr;
 
   std::vector<char> buffer_;
   uint64_t buffer_start_ = 0;  // file offset of buffer_[0]

@@ -109,8 +109,10 @@ bool TileCache::MakeRoomLocked(Shard* shard, uint64_t index, uint64_t bytes) {
 }
 
 StatusOr<std::shared_ptr<const CachedTile>> TileCache::LoadAndMaybeAdmit(
-    uint64_t index, bool admit) {
+    uint64_t index, bool admit, const QueryContext* ctx) {
   const uint64_t offset = index * static_cast<uint64_t>(options_.tile_bytes);
+  // The device-read boundary: a dead query stops before issuing the load.
+  if (ctx != nullptr) ERA_RETURN_NOT_OK(ctx->Check());
   // Load outside any lock: concurrent misses on the same tile may read it
   // more than once; at most one copy is retained.
   const std::size_t want = static_cast<std::size_t>(
@@ -120,7 +122,7 @@ StatusOr<std::shared_ptr<const CachedTile>> TileCache::LoadAndMaybeAdmit(
   std::size_t got = 0;
   uint64_t retries = 0;
   ERA_RETURN_NOT_OK(RunWithRetry(
-      options_.retry,
+      options_.retry, ctx,
       [&] { return file_->ReadAt(offset, want, tile->data.data(), &got); },
       &retries));
   if (retries > 0) {
@@ -152,7 +154,7 @@ StatusOr<std::shared_ptr<const CachedTile>> TileCache::LoadAndMaybeAdmit(
 }
 
 StatusOr<std::shared_ptr<const CachedTile>> TileCache::GetTile(
-    uint64_t index) {
+    uint64_t index, const QueryContext* ctx) {
   const uint64_t offset = index * static_cast<uint64_t>(options_.tile_bytes);
   if (offset >= file_size_) {
     return std::shared_ptr<const CachedTile>(std::make_shared<CachedTile>());
@@ -177,17 +179,21 @@ StatusOr<std::shared_ptr<const CachedTile>> TileCache::GetTile(
   }
   // GetTile's contract is a full pinned tile, so even a bypass loads the
   // whole tile; the span-granular bypass lives in ReadAt.
-  return LoadAndMaybeAdmit(index, admit);
+  return LoadAndMaybeAdmit(index, admit, ctx);
 }
 
 Status TileCache::ReadAt(uint64_t offset, std::size_t n, char* scratch,
-                         std::size_t* out_n) {
+                         std::size_t* out_n, const QueryContext* ctx) {
   *out_n = 0;
   if (offset >= file_size_) return Status::OK();
   n = static_cast<std::size_t>(
       std::min<uint64_t>(n, file_size_ - offset));
   std::size_t written = 0;
   while (written < n) {
+    // Tile boundary: a multi-tile read abandons here, never mid-copy. Hits
+    // pay the check too — it is one relaxed load plus a clock read, and the
+    // boundary contract should not depend on residency.
+    if (ctx != nullptr) ERA_RETURN_NOT_OK(ctx->Check());
     const uint64_t pos = offset + written;
     const uint64_t index = pos / options_.tile_bytes;
     const uint64_t tile_start = index * options_.tile_bytes;
@@ -216,7 +222,8 @@ Status TileCache::ReadAt(uint64_t offset, std::size_t n, char* scratch,
       }
     }
     if (tile == nullptr && admit) {
-      ERA_ASSIGN_OR_RETURN(tile, LoadAndMaybeAdmit(index, /*admit=*/true));
+      ERA_ASSIGN_OR_RETURN(tile,
+                           LoadAndMaybeAdmit(index, /*admit=*/true, ctx));
     }
     if (tile != nullptr) {
       if (in_tile >= tile->data.size()) {
@@ -232,7 +239,7 @@ Status TileCache::ReadAt(uint64_t offset, std::size_t n, char* scratch,
     std::size_t got = 0;
     uint64_t retries = 0;
     ERA_RETURN_NOT_OK(RunWithRetry(
-        options_.retry,
+        options_.retry, ctx,
         [&] { return file_->ReadAt(pos, take, scratch + written, &got); },
         &retries));
     if (retries > 0) {

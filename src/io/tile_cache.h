@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "io/env.h"
 #include "io/retry_policy.h"
@@ -85,13 +86,18 @@ class TileCache {
   /// Returns tile `index` (file bytes [index*tile, (index+1)*tile)),
   /// loading it from the device on a miss. The shared_ptr pins the bytes:
   /// eviction drops a tile from the cache but never invalidates a pinned
-  /// copy. Indexes at or past end-of-file return an empty tile.
-  StatusOr<std::shared_ptr<const CachedTile>> GetTile(uint64_t index);
+  /// copy. Indexes at or past end-of-file return an empty tile. `ctx` (may
+  /// be null) is the caller's deadline/cancellation context, checked before
+  /// a miss touches the device and threaded into the retry backoffs.
+  StatusOr<std::shared_ptr<const CachedTile>> GetTile(
+      uint64_t index, const QueryContext* ctx = nullptr);
 
   /// Read-through positional read (pread semantics, short at end-of-file).
-  /// Spans tile boundaries transparently.
+  /// Spans tile boundaries transparently. `ctx` (may be null) is checked at
+  /// each tile boundary — a multi-tile read abandons between tiles, never
+  /// mid-copy.
   Status ReadAt(uint64_t offset, std::size_t n, char* scratch,
-                std::size_t* out_n);
+                std::size_t* out_n, const QueryContext* ctx = nullptr);
 
   /// Drops every resident tile (not counted as LRU evictions). Pinned tiles
   /// stay valid for their holders.
@@ -160,7 +166,7 @@ class TileCache {
   /// Reads tile `index` from the device; inserts it when `admit` (subject
   /// to a re-check against racing inserts).
   StatusOr<std::shared_ptr<const CachedTile>> LoadAndMaybeAdmit(
-      uint64_t index, bool admit);
+      uint64_t index, bool admit, const QueryContext* ctx);
 
   std::unique_ptr<RandomAccessFile> file_;
   const std::string path_;

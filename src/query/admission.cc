@@ -1,0 +1,278 @@
+#include "query/admission.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace era {
+
+namespace {
+
+/// Upper bounds of the queue-wait histogram buckets, in seconds.
+constexpr double kWaitBounds[ServingStats::kWaitBuckets] = {
+    0.00025, 0.001, 0.004, 0.016, 0.064,
+    0.256,   1.0,   std::numeric_limits<double>::infinity()};
+
+uint32_t WaitBucketFor(double seconds) {
+  for (uint32_t i = 0; i + 1 < ServingStats::kWaitBuckets; ++i) {
+    if (seconds <= kWaitBounds[i]) return i;
+  }
+  return ServingStats::kWaitBuckets - 1;
+}
+
+}  // namespace
+
+double ServingStats::WaitBucketBound(uint32_t i) {
+  return kWaitBounds[std::min(i, kWaitBuckets - 1)];
+}
+
+void ServingStats::Add(const ServingStats& other) {
+  admitted += other.admitted;
+  queued += other.queued;
+  shed += other.shed;
+  deadline_exceeded += other.deadline_exceeded;
+  cancelled += other.cancelled;
+  deadline_evicted += other.deadline_evicted;
+  for (uint32_t i = 0; i < kWaitBuckets; ++i) {
+    queue_wait_buckets[i] += other.queue_wait_buckets[i];
+  }
+}
+
+Permit& Permit::operator=(Permit&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void Permit::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+AdmissionController::~AdmissionController() {
+  // Waiters borrow stack frames from live Admit calls; destroying the
+  // controller under them is a caller bug (QueryEngine owns both and joins
+  // its callers first).
+  assert(total_waiters_ == 0 && "AdmissionController destroyed with waiters");
+}
+
+Status AdmissionController::Admit(const QueryContext& ctx, Permit* permit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    ++stats_.shed;
+    return Status::ResourceExhausted("serving is draining");
+  }
+  if (ctx.cancelled()) {
+    ++stats_.cancelled;
+    return Status::Cancelled("query cancelled before admission");
+  }
+  const auto now = QueryContext::Clock::now();
+  if (ctx.expired(now)) {
+    ++stats_.deadline_exceeded;
+    return Status::DeadlineExceeded("query deadline passed before admission");
+  }
+  if (!options_.enabled) {
+    // Everything is admitted instantly, but in-flight is still tracked so
+    // Drain()/WaitIdle() keep their contract with the controller disabled.
+    ++in_flight_;
+    ++stats_.admitted;
+    *permit = Permit(this);
+    return Status::OK();
+  }
+  if (in_flight_ < options_.max_in_flight && total_waiters_ == 0) {
+    ++in_flight_;
+    ++stats_.admitted;
+    *permit = Permit(this);
+    return Status::OK();
+  }
+  // Must queue (or shed). Bounded: beyond the burst buffer the honest
+  // answer is an immediate refusal, not a wait the deadline will eat.
+  if (total_waiters_ >= options_.max_queue) {
+    ++stats_.shed;
+    return Status::ResourceExhausted("admission queue is full");
+  }
+  std::deque<Waiter*>& queue = queues_[ctx.client_id];
+  if (options_.max_queue_per_client > 0 &&
+      queue.size() >= options_.max_queue_per_client) {
+    ++stats_.shed;
+    return Status::ResourceExhausted("client admission queue is full");
+  }
+  Waiter waiter;
+  waiter.ctx = &ctx;
+  waiter.enqueued_at = now;
+  if (queue.empty()) rr_.push_back(ctx.client_id);
+  queue.push_back(&waiter);
+  ++total_waiters_;
+  // A slot may already be free (e.g. the immediate path skipped it because
+  // waiters existed a moment ago); give the queue a chance right away.
+  GrantLocked(now);
+  const auto poll = std::chrono::duration_cast<QueryContext::Clock::duration>(
+      std::chrono::duration<double>(
+          std::max(options_.queue_poll_seconds, 1e-4)));
+  while (waiter.wake == Wake::kWaiting) {
+    auto wake_at = QueryContext::Clock::now() + poll;
+    if (ctx.has_deadline()) wake_at = std::min(wake_at, ctx.deadline);
+    waiter.cv.wait_until(lock, wake_at);
+    if (waiter.wake != Wake::kWaiting) break;
+    if (ctx.cancelled()) {
+      RemoveWaiterLocked(ctx.client_id, &waiter);
+      ++stats_.cancelled;
+      return Status::Cancelled("query cancelled while queued");
+    }
+    if (ctx.expired(QueryContext::Clock::now())) {
+      RemoveWaiterLocked(ctx.client_id, &waiter);
+      ++stats_.deadline_exceeded;
+      return Status::DeadlineExceeded("query deadline passed while queued");
+    }
+  }
+  switch (waiter.wake) {
+    case Wake::kGranted: {
+      const double waited = std::chrono::duration<double>(
+                                QueryContext::Clock::now() - waiter.enqueued_at)
+                                .count();
+      ++stats_.queued;
+      ++stats_.admitted;
+      ++stats_.queue_wait_buckets[WaitBucketFor(waited)];
+      *permit = Permit(this);
+      return Status::OK();
+    }
+    case Wake::kShed:
+      // Drain swept the queue; it already billed the shed.
+      return Status::ResourceExhausted("serving is draining");
+    case Wake::kEvicted:
+      // The granter billed the eviction; report what it saw.
+      if (ctx.cancelled()) {
+        return Status::Cancelled("query cancelled while queued");
+      }
+      return Status::DeadlineExceeded("query deadline passed while queued");
+    case Wake::kWaiting:
+      break;
+  }
+  return Status::Internal("admission waiter woke in an impossible state");
+}
+
+void AdmissionController::GrantLocked(QueryContext::Clock::time_point now) {
+  while (!draining_ && in_flight_ < options_.max_in_flight &&
+         total_waiters_ > 0 && !rr_.empty()) {
+    const uint64_t client = rr_.front();
+    rr_.pop_front();
+    auto qit = queues_.find(client);
+    assert(qit != queues_.end());
+    std::deque<Waiter*>& queue = qit->second;
+    bool granted_one = false;
+    while (!queue.empty() && !granted_one) {
+      Waiter* waiter = queue.front();
+      const bool was_cancelled = waiter->ctx->cancelled();
+      if (was_cancelled || waiter->ctx->expired(now)) {
+        // Queue-deadline eviction: never hand a slot to a request that can
+        // no longer use it.
+        queue.pop_front();
+        --total_waiters_;
+        waiter->wake = Wake::kEvicted;
+        if (was_cancelled) {
+          ++stats_.cancelled;
+        } else {
+          ++stats_.deadline_exceeded;
+          ++stats_.deadline_evicted;
+        }
+        waiter->cv.notify_one();
+        continue;
+      }
+      queue.pop_front();
+      --total_waiters_;
+      waiter->wake = Wake::kGranted;
+      ++in_flight_;
+      waiter->cv.notify_one();
+      granted_one = true;
+    }
+    if (queue.empty()) {
+      queues_.erase(qit);
+    } else {
+      rr_.push_back(client);  // round-robin: back of the line
+    }
+  }
+}
+
+void AdmissionController::RemoveWaiterLocked(uint64_t client_id,
+                                             Waiter* waiter) {
+  auto qit = queues_.find(client_id);
+  if (qit == queues_.end()) return;
+  std::deque<Waiter*>& queue = qit->second;
+  auto it = std::find(queue.begin(), queue.end(), waiter);
+  if (it == queue.end()) return;
+  queue.erase(it);
+  --total_waiters_;
+  if (queue.empty()) {
+    queues_.erase(qit);
+    auto rit = std::find(rr_.begin(), rr_.end(), client_id);
+    if (rit != rr_.end()) rr_.erase(rit);
+  }
+}
+
+void AdmissionController::ReleaseSlot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(in_flight_ > 0);
+  --in_flight_;
+  GrantLocked(QueryContext::Clock::now());
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+void AdmissionController::RecordOutcome(const Status& status) {
+  if (!status.IsDeadlineExceeded() && !status.IsCancelled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (status.IsDeadlineExceeded()) {
+    ++stats_.deadline_exceeded;
+  } else {
+    ++stats_.cancelled;
+  }
+}
+
+void AdmissionController::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  for (auto& [client, queue] : queues_) {
+    for (Waiter* waiter : queue) {
+      waiter->wake = Wake::kShed;
+      ++stats_.shed;
+      waiter->cv.notify_one();
+    }
+  }
+  queues_.clear();
+  rr_.clear();
+  total_waiters_ = 0;
+}
+
+void AdmissionController::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = false;
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void AdmissionController::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+uint32_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+ServingStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace era

@@ -1,0 +1,205 @@
+// Admission control for the serving path: bounded concurrency, bounded
+// queueing, immediate shedding beyond that.
+//
+// The failure mode this prevents is queueing collapse. An open-loop arrival
+// stream offered above capacity grows an unbounded backlog; every request
+// eventually waits longer than any useful deadline, so the system does
+// maximal work for zero goodput. The controller instead holds a hard cap of
+// in-flight queries (matched to what the device layer can actually run
+// concurrently), a small bounded FIFO wait queue to absorb bursts, and sheds
+// everything beyond that *immediately* with ResourceExhausted — a refused
+// request costs microseconds and tells the client to back off or go to
+// another replica, which is strictly better than an accepted request that
+// times out after consuming device bandwidth.
+//
+// Fairness: the wait queue is per-client FIFO, served round-robin across
+// client ids (QueryContext::client_id), so one flooding client lengthens its
+// own queue, not everyone's. Waiters whose deadline passes while queued are
+// evicted at grant time (queue-deadline eviction) — a slot is never handed
+// to a request that can no longer use it.
+//
+// Drain: the graceful-shutdown primitive the future network front end calls.
+// Drain() immediately sheds all waiters and rejects new arrivals with
+// ResourceExhausted while letting in-flight queries finish; WaitIdle()
+// blocks until they have.
+
+#ifndef ERA_QUERY_ADMISSION_H_
+#define ERA_QUERY_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/query_context.h"
+#include "common/status.h"
+
+namespace era {
+
+/// Tuning knobs for one AdmissionController.
+struct AdmissionOptions {
+  /// Master switch. Disabled (the default) admits everything instantly —
+  /// existing callers see no behavior change — but in-flight tracking and
+  /// Drain() still work, so a drained engine rejects new work either way.
+  bool enabled = false;
+  /// Hard cap on concurrently executing queries. Match this to the device's
+  /// useful parallelism (e.g. its queue depth): slots beyond that only add
+  /// queueing *inside* the device where no policy can see it.
+  uint32_t max_in_flight = 8;
+  /// Total waiters across all clients before new arrivals are shed. Sized
+  /// to absorb bursts, not sustained overload: each queued request will
+  /// wait roughly (position / max_in_flight) service times, so a queue much
+  /// deeper than deadline/service_time is pre-declared goodput zero.
+  uint32_t max_queue = 64;
+  /// Per-client waiter cap (0 = no per-client cap beyond max_queue). With
+  /// round-robin grant order a flooder already cannot starve others; this
+  /// additionally stops it from consuming the whole burst buffer.
+  uint32_t max_queue_per_client = 0;
+  /// How often a queued waiter re-checks its cancellation token while
+  /// blocked (deadline expiry needs no polling — waits are clamped to the
+  /// deadline).
+  double queue_poll_seconds = 0.005;
+};
+
+/// Counters for the serving layer, surfaced beside QueryStats. Mutated under
+/// the controller's lock; read via AdmissionController::stats().
+struct ServingStats {
+  /// Requests granted a slot (immediately or after queueing).
+  uint64_t admitted = 0;
+  /// Admitted requests that waited in the queue first.
+  uint64_t queued = 0;
+  /// Requests refused with ResourceExhausted (queue full, per-client cap,
+  /// or draining).
+  uint64_t shed = 0;
+  /// Requests whose deadline expired before or while queued, plus expired
+  /// outcomes reported by RecordOutcome for mid-flight expiry.
+  uint64_t deadline_exceeded = 0;
+  /// Requests cancelled before or while queued, plus cancelled outcomes
+  /// reported by RecordOutcome.
+  uint64_t cancelled = 0;
+  /// Waiters evicted at grant time because their deadline passed in the
+  /// queue (also counted in deadline_exceeded).
+  uint64_t deadline_evicted = 0;
+
+  /// Queue-wait histogram: bucket upper bounds 0.25ms, 1ms, 4ms, 16ms,
+  /// 64ms, 256ms, 1s, +inf. Only requests that actually queued are billed.
+  static constexpr uint32_t kWaitBuckets = 8;
+  uint64_t queue_wait_buckets[kWaitBuckets] = {};
+  /// Upper bound of bucket `i` in seconds (+inf for the last). Exposed for
+  /// printing.
+  static double WaitBucketBound(uint32_t i);
+
+  void Add(const ServingStats& other);
+};
+
+class AdmissionController;
+
+/// RAII in-flight slot. Move-only; releasing (destruction or Release())
+/// frees the slot and wakes the next eligible waiter. An empty Permit (from
+/// a failed Admit) releases nothing.
+class Permit {
+ public:
+  Permit() = default;
+  Permit(Permit&& other) noexcept : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  Permit& operator=(Permit&& other) noexcept;
+  Permit(const Permit&) = delete;
+  Permit& operator=(const Permit&) = delete;
+  ~Permit() { Release(); }
+
+  bool valid() const { return controller_ != nullptr; }
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  explicit Permit(AdmissionController* controller) : controller_(controller) {}
+  AdmissionController* controller_ = nullptr;
+};
+
+/// Thread-safe admission controller; one per QueryEngine.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Tries to admit one request (or one batch — a batch admits once and
+  /// holds its permit across all items). On OK, `*permit` holds the slot.
+  /// Failure modes, checked in order:
+  ///   * draining, queue full, or per-client cap hit → ResourceExhausted
+  ///     (shed; returns without blocking),
+  ///   * context cancelled → Cancelled,
+  ///   * deadline already passed or passes while queued → DeadlineExceeded.
+  /// Otherwise blocks in the fair queue until a slot frees up.
+  Status Admit(const QueryContext& ctx, Permit* permit);
+
+  /// Reports the outcome of an admitted query so mid-flight deadline
+  /// expiry/cancellation (which Admit cannot see) lands in ServingStats.
+  /// Call after the query finishes, before releasing its permit or after —
+  /// the controller only inspects the code.
+  void RecordOutcome(const Status& status);
+
+  /// Enters drain mode: all queued waiters are shed now, new Admit calls
+  /// are refused with ResourceExhausted, in-flight queries run to
+  /// completion. Idempotent.
+  void Drain();
+  /// Leaves drain mode; new work is admitted again.
+  void Resume();
+  bool draining() const;
+
+  /// Blocks until no query is in flight (use after Drain() for graceful
+  /// shutdown).
+  void WaitIdle();
+
+  uint32_t in_flight() const;
+  ServingStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  friend class Permit;
+
+  /// How a queued waiter was woken. kEvicted covers both grant-time
+  /// deadline eviction and grant-time cancellation (the waiter consults its
+  /// own context for which); stat billing happens on the side that sets the
+  /// state, never twice.
+  enum class Wake { kWaiting, kGranted, kShed, kEvicted };
+
+  struct Waiter {
+    const QueryContext* ctx = nullptr;
+    QueryContext::Clock::time_point enqueued_at;
+    Wake wake = Wake::kWaiting;
+    std::condition_variable cv;
+  };
+
+  /// Hands the freed slot to the next eligible waiter, round-robin across
+  /// clients, evicting waiters whose deadline passed in the queue. Caller
+  /// holds mu_.
+  void GrantLocked(QueryContext::Clock::time_point now);
+  /// Removes `waiter` (owned by a stack frame in Admit) from its client's
+  /// queue. Caller holds mu_.
+  void RemoveWaiterLocked(uint64_t client_id, Waiter* waiter);
+  void ReleaseSlot();
+
+  const AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  uint32_t in_flight_ = 0;
+  uint32_t total_waiters_ = 0;
+  bool draining_ = false;
+  /// Per-client FIFO of borrowed waiter frames (each lives on its Admit
+  /// caller's stack until granted, shed, or abandoned).
+  std::unordered_map<uint64_t, std::deque<Waiter*>> queues_;
+  /// Round-robin order of client ids with live waiters.
+  std::deque<uint64_t> rr_;
+  ServingStats stats_;
+};
+
+}  // namespace era
+
+#endif  // ERA_QUERY_ADMISSION_H_

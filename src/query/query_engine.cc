@@ -26,24 +26,38 @@ void CollectLeaves(const TreeBuffer& tree, uint32_t node,
 
 void CollectLeaves(const CountedTree& tree, uint32_t node,
                    std::vector<uint64_t>* leaves) {
+  // Background() never expires, so the context-aware scan cannot fail.
+  Status s = CollectLeaves(tree, node, QueryContext::Background(), leaves);
+  (void)s;
+}
+
+Status CollectLeaves(const CountedTree& tree, uint32_t node,
+                     const QueryContext& ctx, std::vector<uint64_t>* leaves) {
   const CountedNode& n = tree.node(node);
   if (n.IsLeaf()) {
     leaves->push_back(n.leaf_id());
-    return;
+    return Status::OK();
   }
   // The strict descendants of `node` occupy one contiguous slot range
   // starting at children_begin (enforced at load; see serializer.cc), so
   // every leaf below sits in that range and the scan stops once the
-  // subtree's leaf count is met.
+  // subtree's leaf count is met. The context is re-checked every block of
+  // slots: fine enough that a deadline abandon costs microseconds, coarse
+  // enough that the clock read vanishes against the scan.
+  constexpr uint32_t kCheckEverySlots = 4096;
   uint64_t remaining = n.leaf_or_count;
   leaves->reserve(leaves->size() + remaining);
   for (uint32_t i = n.children_begin; remaining > 0 && i < tree.size(); ++i) {
+    if ((i - n.children_begin) % kCheckEverySlots == 0) {
+      ERA_RETURN_NOT_OK(ctx.Check());
+    }
     const CountedNode& c = tree.node(i);
     if (c.IsLeaf()) {
       leaves->push_back(c.leaf_id());
       --remaining;
     }
   }
+  return Status::OK();
 }
 
 StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
@@ -104,9 +118,15 @@ std::map<uint32_t, uint64_t> QueryEngine::quarantine() const {
 }
 
 StatusOr<std::shared_ptr<const CountedTree>>
-QueryEngine::OpenSubTreeOrQuarantine(uint32_t id, Session* session) {
-  auto tree = index_.OpenSubTree(env_, id, &session->io);
+QueryEngine::OpenSubTreeOrQuarantine(uint32_t id, Session* session,
+                                     const QueryContext& ctx) {
+  auto tree = index_.OpenSubTree(env_, id, &session->io, &ctx);
   if (tree.ok()) return tree;
+  // A deadline or cancellation abandon says nothing about the file; pass it
+  // through so an overloaded moment never poisons the quarantine map.
+  if (tree.status().IsDeadlineExceeded() || tree.status().IsCancelled()) {
+    return tree.status();
+  }
   // The cache never admits a failed load (tree_index.cc), so the damage is
   // observed fresh on every attempt and repair needs no restart.
   ++session->stats.unavailable_queries;
@@ -116,6 +136,16 @@ QueryEngine::OpenSubTreeOrQuarantine(uint32_t id, Session* session) {
   }
   return Status::Unavailable("sub-tree " + std::to_string(id) +
                              " unavailable: " + tree.status().ToString());
+}
+
+QueryEngine::ReaderContextGuard::ReaderContextGuard(Session* session,
+                                                    const QueryContext* ctx)
+    : session_(session) {
+  session_->reader->SetContext(ctx);
+}
+
+QueryEngine::ReaderContextGuard::~ReaderContextGuard() {
+  session_->reader->SetContext(nullptr);
 }
 
 QueryEngine::Lease::~Lease() {
@@ -162,12 +192,16 @@ StatusOr<uint32_t> QueryEngine::FindChild(const CountedTree& tree,
 }
 
 StatusOr<QueryEngine::SubTreeMatch> QueryEngine::MatchInSubTree(
-    const CountedTree& tree, const std::string& pattern, Session* session) {
+    const CountedTree& tree, const QueryContext& ctx,
+    const std::string& pattern, Session* session) {
   SubTreeMatch result;
   uint32_t node = 0;
   std::size_t matched = 0;
   char buf[256];
   while (matched < pattern.size()) {
+    // Node-visit boundary: the descent abandons between nodes, never inside
+    // an edge-label comparison.
+    ERA_RETURN_NOT_OK(ctx.Check());
     ERA_ASSIGN_OR_RETURN(uint32_t child,
                          FindChild(tree, node, pattern[matched], session));
     if (child == kNilNode) return result;  // no child continues the pattern
@@ -199,8 +233,10 @@ StatusOr<QueryEngine::SubTreeMatch> QueryEngine::MatchInSubTree(
 }
 
 StatusOr<uint64_t> QueryEngine::CountWithSession(Session* session,
+                                                 const QueryContext& ctx,
                                                  const std::string& pattern) {
   if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  ERA_RETURN_NOT_OK(ctx.Check());
   ++session->stats.queries;
 
   PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
@@ -213,17 +249,19 @@ StatusOr<uint64_t> QueryEngine::CountWithSession(Session* session,
   if (node.subtree_id < 0) return 0;  // fell off the trie: no occurrences
   ERA_ASSIGN_OR_RETURN(
       auto tree, OpenSubTreeOrQuarantine(
-                     static_cast<uint32_t>(node.subtree_id), session));
+                     static_cast<uint32_t>(node.subtree_id), session, ctx));
   ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
-                       MatchInSubTree(*tree, pattern, session));
+                       MatchInSubTree(*tree, ctx, pattern, session));
   if (!match.matched) return 0;
   // The counted layout answers from the match node alone — no enumeration.
   return tree->node(match.node).LeafCount();
 }
 
 StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
-    Session* session, const std::string& pattern, std::size_t limit) {
+    Session* session, const QueryContext& ctx, const std::string& pattern,
+    std::size_t limit) {
   if (pattern.empty()) return Status::InvalidArgument("empty pattern");
+  ERA_RETURN_NOT_OK(ctx.Check());
   ++session->stats.queries;
 
   std::vector<uint64_t> hits;
@@ -233,12 +271,13 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
     std::vector<PrefixTrie::Entry> entries;
     index_.trie().CollectEntries(walk.node, &entries);
     for (const auto& entry : entries) {
+      ERA_RETURN_NOT_OK(ctx.Check());
       if (entry.subtree_id >= 0) {
         ERA_ASSIGN_OR_RETURN(
             auto tree,
             OpenSubTreeOrQuarantine(static_cast<uint32_t>(entry.subtree_id),
-                                    session));
-        CollectLeaves(*tree, 0, &hits);
+                                    session, ctx));
+        ERA_RETURN_NOT_OK(CollectLeaves(*tree, 0, ctx, &hits));
       } else {
         hits.push_back(entry.leaf_position);
       }
@@ -250,12 +289,14 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
     }
     ERA_ASSIGN_OR_RETURN(
         auto tree, OpenSubTreeOrQuarantine(
-                       static_cast<uint32_t>(node.subtree_id), session));
+                       static_cast<uint32_t>(node.subtree_id), session, ctx));
     // Sub-tree labels carry the full path from the global root, so match
     // the whole pattern inside the sub-tree.
     ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
-                         MatchInSubTree(*tree, pattern, session));
-    if (match.matched) CollectLeaves(*tree, match.node, &hits);
+                         MatchInSubTree(*tree, ctx, pattern, session));
+    if (match.matched) {
+      ERA_RETURN_NOT_OK(CollectLeaves(*tree, match.node, ctx, &hits));
+    }
   }
   session->stats.leaves_enumerated += hits.size();
   // Locate guarantees the smallest `limit` offsets, not the first `limit`
@@ -269,34 +310,63 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
 }
 
 StatusOr<uint64_t> QueryEngine::Count(const std::string& pattern) {
+  return Count(QueryContext::Background(), pattern);
+}
+
+StatusOr<uint64_t> QueryEngine::Count(const QueryContext& ctx,
+                                      const std::string& pattern) {
+  Permit permit;
+  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
-  return CountWithSession(lease.get(), pattern);
+  ReaderContextGuard guard(lease.get(), &ctx);
+  auto result = CountWithSession(lease.get(), ctx, pattern);
+  if (!result.ok()) admission_.RecordOutcome(result.status());
+  return result;
 }
 
 StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const std::string& pattern,
                                                     std::size_t limit) {
+  return Locate(QueryContext::Background(), pattern, limit);
+}
+
+StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const QueryContext& ctx,
+                                                    const std::string& pattern,
+                                                    std::size_t limit) {
+  Permit permit;
+  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
-  return LocateWithSession(lease.get(), pattern, limit);
+  ReaderContextGuard guard(lease.get(), &ctx);
+  auto result = LocateWithSession(lease.get(), ctx, pattern, limit);
+  if (!result.ok()) admission_.RecordOutcome(result.status());
+  return result;
 }
 
 StatusOr<bool> QueryEngine::Contains(const std::string& pattern) {
-  Lease lease;
-  ERA_RETURN_NOT_OK(lease.Acquire(this));
-  ERA_ASSIGN_OR_RETURN(uint64_t count, CountWithSession(lease.get(), pattern));
+  return Contains(QueryContext::Background(), pattern);
+}
+
+StatusOr<bool> QueryEngine::Contains(const QueryContext& ctx,
+                                     const std::string& pattern) {
+  ERA_ASSIGN_OR_RETURN(uint64_t count, Count(ctx, pattern));
   return count > 0;
 }
 
 StatusOr<std::vector<uint64_t>> QueryEngine::CountBatch(
     const std::vector<std::string>& patterns) {
+  // Context-free contract: abort on the first error (kept for existing
+  // callers). Still admission-tracked so Drain() covers it.
+  Permit permit;
+  ERA_RETURN_NOT_OK(admission_.Admit(QueryContext::Background(), &permit));
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   std::vector<uint64_t> counts;
   counts.reserve(patterns.size());
   for (const std::string& pattern : patterns) {
-    ERA_ASSIGN_OR_RETURN(uint64_t count,
-                         CountWithSession(lease.get(), pattern));
+    ERA_ASSIGN_OR_RETURN(
+        uint64_t count,
+        CountWithSession(lease.get(), QueryContext::Background(), pattern));
     counts.push_back(count);
   }
   return counts;
@@ -304,16 +374,89 @@ StatusOr<std::vector<uint64_t>> QueryEngine::CountBatch(
 
 StatusOr<std::vector<std::vector<uint64_t>>> QueryEngine::LocateBatch(
     const std::vector<std::string>& patterns, std::size_t limit) {
+  Permit permit;
+  ERA_RETURN_NOT_OK(admission_.Admit(QueryContext::Background(), &permit));
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   std::vector<std::vector<uint64_t>> results;
   results.reserve(patterns.size());
   for (const std::string& pattern : patterns) {
     ERA_ASSIGN_OR_RETURN(auto hits,
-                         LocateWithSession(lease.get(), pattern, limit));
+                         LocateWithSession(lease.get(),
+                                           QueryContext::Background(), pattern,
+                                           limit));
     results.push_back(std::move(hits));
   }
   return results;
+}
+
+namespace {
+
+/// Whether a per-item failure ends the whole batch: the caller's deadline
+/// and cancellation apply to the batch, not the item, so those stop it
+/// mid-flight; anything else (bad pattern, quarantined sub-tree) is that
+/// item's own problem.
+bool TerminatesBatch(const Status& status) {
+  return status.IsDeadlineExceeded() || status.IsCancelled();
+}
+
+}  // namespace
+
+StatusOr<std::vector<CountOutcome>> QueryEngine::CountBatch(
+    const QueryContext& ctx, const std::vector<std::string>& patterns) {
+  Permit permit;
+  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  Lease lease;
+  ERA_RETURN_NOT_OK(lease.Acquire(this));
+  ReaderContextGuard guard(lease.get(), &ctx);
+  std::vector<CountOutcome> outcomes(patterns.size());
+  Status terminal;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (!terminal.ok()) {
+      outcomes[i].status = terminal;
+      continue;
+    }
+    auto result = CountWithSession(lease.get(), ctx, patterns[i]);
+    if (result.ok()) {
+      outcomes[i].count = *result;
+    } else {
+      outcomes[i].status = result.status();
+      if (TerminatesBatch(result.status())) {
+        terminal = result.status();
+        admission_.RecordOutcome(terminal);
+      }
+    }
+  }
+  return outcomes;
+}
+
+StatusOr<std::vector<LocateOutcome>> QueryEngine::LocateBatch(
+    const QueryContext& ctx, const std::vector<std::string>& patterns,
+    std::size_t limit) {
+  Permit permit;
+  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  Lease lease;
+  ERA_RETURN_NOT_OK(lease.Acquire(this));
+  ReaderContextGuard guard(lease.get(), &ctx);
+  std::vector<LocateOutcome> outcomes(patterns.size());
+  Status terminal;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (!terminal.ok()) {
+      outcomes[i].status = terminal;
+      continue;
+    }
+    auto result = LocateWithSession(lease.get(), ctx, patterns[i], limit);
+    if (result.ok()) {
+      outcomes[i].offsets = std::move(*result);
+    } else {
+      outcomes[i].status = result.status();
+      if (TerminatesBatch(result.status())) {
+        terminal = result.status();
+        admission_.RecordOutcome(terminal);
+      }
+    }
+  }
+  return outcomes;
 }
 
 }  // namespace era

@@ -13,6 +13,14 @@
 // (readers are pooled, never shared), the sub-tree cache is sharded, and
 // per-session I/O and query counters are folded into the engine aggregates
 // when the lease is returned.
+//
+// Overload control: every entry point has a QueryContext overload carrying
+// an absolute deadline and a cancellation token, checked at node-visit and
+// device-read boundaries (the context-free overloads run under
+// QueryContext::Background()). All queries pass through an
+// AdmissionController (query/admission.h) — disabled by default, so
+// existing callers only gain the Drain() contract — and serving degradation
+// is counted in ServingStats beside QueryStats.
 
 #ifndef ERA_QUERY_QUERY_ENGINE_H_
 #define ERA_QUERY_QUERY_ENGINE_H_
@@ -23,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "io/string_reader.h"
+#include "query/admission.h"
 #include "suffixtree/tree_index.h"
 
 namespace era {
@@ -37,6 +47,9 @@ struct QueryEngineOptions {
   uint64_t reader_buffer_bytes = 64 << 10;
   /// Readers kept for reuse; excess sessions are dropped on release.
   std::size_t max_pooled_sessions = 64;
+  /// Overload policy (disabled by default: everything admitted instantly,
+  /// but Drain() still rejects new work while in-flight queries finish).
+  AdmissionOptions admission;
 };
 
 /// Aggregate query-path counters (device traffic is in IoStats; these count
@@ -64,6 +77,20 @@ struct QueryStats {
   }
 };
 
+/// Per-item result of a context-aware batch. A batch stops mid-flight on
+/// deadline expiry or cancellation: items already answered keep their
+/// results, the item that hit the boundary and everything after it carry
+/// that terminal status. Non-fatal per-item failures (bad pattern, sub-tree
+/// unavailable) do not stop the batch.
+struct CountOutcome {
+  Status status;
+  uint64_t count = 0;
+};
+struct LocateOutcome {
+  Status status;
+  std::vector<uint64_t> offsets;
+};
+
 /// Read-side facade over an index directory.
 class QueryEngine {
  public:
@@ -76,21 +103,37 @@ class QueryEngine {
   /// Number of occurrences of `pattern` in the text. O(|P|) — answered from
   /// trie frequencies or the match node's subtree leaf count.
   StatusOr<uint64_t> Count(const std::string& pattern);
+  StatusOr<uint64_t> Count(const QueryContext& ctx, const std::string& pattern);
 
   /// Starting offsets of occurrences, ascending. With a `limit`, the
   /// *smallest* `limit` offsets are returned (all occurrences are collected
   /// and sorted before truncation).
   StatusOr<std::vector<uint64_t>> Locate(const std::string& pattern,
                                          std::size_t limit = SIZE_MAX);
+  StatusOr<std::vector<uint64_t>> Locate(const QueryContext& ctx,
+                                         const std::string& pattern,
+                                         std::size_t limit = SIZE_MAX);
 
   /// True iff `pattern` occurs at least once (via Count; no enumeration).
   StatusOr<bool> Contains(const std::string& pattern);
+  StatusOr<bool> Contains(const QueryContext& ctx, const std::string& pattern);
 
-  /// Batched variants: one leased reader session serves the whole batch.
+  /// Batched variants: one leased reader session (and one admission permit)
+  /// serves the whole batch.
   StatusOr<std::vector<uint64_t>> CountBatch(
       const std::vector<std::string>& patterns);
   StatusOr<std::vector<std::vector<uint64_t>>> LocateBatch(
       const std::vector<std::string>& patterns, std::size_t limit = SIZE_MAX);
+
+  /// Context-aware batches report per-item outcomes instead of aborting the
+  /// whole batch on the first error (see CountOutcome). The outer status is
+  /// only non-OK when the batch never ran (shed by admission, or no reader
+  /// session).
+  StatusOr<std::vector<CountOutcome>> CountBatch(
+      const QueryContext& ctx, const std::vector<std::string>& patterns);
+  StatusOr<std::vector<LocateOutcome>> LocateBatch(
+      const QueryContext& ctx, const std::vector<std::string>& patterns,
+      std::size_t limit = SIZE_MAX);
 
   const TreeIndex& index() const { return index_; }
   /// Snapshot of the accumulated I/O of retired sessions (sub-tree loads,
@@ -105,6 +148,17 @@ class QueryEngine {
   /// blast radius of on-disk damage. Failed loads are never cached, so a
   /// repaired file starts serving again without a restart.
   std::map<uint32_t, uint64_t> quarantine() const;
+
+  /// Snapshot of the serving-layer counters (admitted/queued/shed/...).
+  ServingStats serving() const { return admission_.stats(); }
+  /// Graceful shutdown: sheds queued work, refuses new queries with
+  /// ResourceExhausted (even through the context-free overloads), lets
+  /// in-flight queries finish. Follow with admission().WaitIdle() to block
+  /// until they have.
+  void Drain() { admission_.Drain(); }
+  void Resume() { admission_.Resume(); }
+  /// The underlying controller (in_flight(), WaitIdle(), options()).
+  AdmissionController& admission() { return admission_; }
 
  private:
   /// One pooled serving session: a private text reader plus the stat sinks
@@ -131,21 +185,44 @@ class QueryEngine {
     std::unique_ptr<Session> session_;
   };
 
+  /// Scoped binding of a query's context to a leased session's reader, so
+  /// every device read the session performs observes the caller's deadline.
+  /// Declare AFTER the Lease: the binding must unwind before the session
+  /// returns to the pool (a pooled reader must never point at a dead
+  /// context).
+  class ReaderContextGuard {
+   public:
+    ReaderContextGuard(Session* session, const QueryContext* ctx);
+    ~ReaderContextGuard();
+    ReaderContextGuard(const ReaderContextGuard&) = delete;
+    ReaderContextGuard& operator=(const ReaderContextGuard&) = delete;
+
+   private:
+    Session* session_;
+  };
+
   QueryEngine(Env* env, TreeIndex index, const QueryEngineOptions& options)
-      : env_(env), index_(std::move(index)), options_(options) {}
+      : env_(env),
+        index_(std::move(index)),
+        options_(options),
+        admission_(options.admission) {}
 
   StatusOr<std::unique_ptr<Session>> AcquireSession();
   void ReleaseSession(std::unique_ptr<Session> session);
 
   /// OpenSubTree with serving degradation: a failed load is recorded in the
   /// quarantine map and surfaced as Unavailable naming the sub-tree, so one
-  /// damaged file fails its own queries instead of the process.
+  /// damaged file fails its own queries instead of the process. A deadline
+  /// or cancellation abandon is NOT the file's fault and passes through
+  /// without quarantining.
   StatusOr<std::shared_ptr<const CountedTree>> OpenSubTreeOrQuarantine(
-      uint32_t id, Session* session);
+      uint32_t id, Session* session, const QueryContext& ctx);
 
   StatusOr<uint64_t> CountWithSession(Session* session,
+                                      const QueryContext& ctx,
                                       const std::string& pattern);
   StatusOr<std::vector<uint64_t>> LocateWithSession(Session* session,
+                                                    const QueryContext& ctx,
                                                     const std::string& pattern,
                                                     std::size_t limit);
 
@@ -155,6 +232,7 @@ class QueryEngine {
     uint32_t node = 0;  // node whose subtree holds all occurrences
   };
   StatusOr<SubTreeMatch> MatchInSubTree(const CountedTree& tree,
+                                        const QueryContext& ctx,
                                         const std::string& pattern,
                                         Session* session);
   /// Child of `node` whose edge starts with `symbol` (binary search over the
@@ -166,6 +244,7 @@ class QueryEngine {
   Env* env_;
   TreeIndex index_;
   QueryEngineOptions options_;
+  AdmissionController admission_;
 
   mutable std::mutex mu_;  // guards pool_ and the retired aggregates
   std::vector<std::unique_ptr<Session>> pool_;
@@ -184,6 +263,12 @@ void CollectLeaves(const TreeBuffer& tree, uint32_t node,
 /// leaf count; not lexicographic — callers sort).
 void CollectLeaves(const CountedTree& tree, uint32_t node,
                    std::vector<uint64_t>* leaves);
+
+/// Context-aware counted-layout collection: same scan, but the context is
+/// checked every few thousand slots so a huge enumeration (the expensive
+/// tail of Locate) abandons promptly on deadline expiry or cancellation.
+Status CollectLeaves(const CountedTree& tree, uint32_t node,
+                     const QueryContext& ctx, std::vector<uint64_t>* leaves);
 
 }  // namespace era
 

@@ -130,7 +130,7 @@ StatusOr<TreeIndex> TreeIndex::Load(Env* env, const std::string& dir) {
 }
 
 StatusOr<std::shared_ptr<const CountedTree>> TreeIndex::OpenSubTree(
-    Env* env, uint32_t id, IoStats* stats) const {
+    Env* env, uint32_t id, IoStats* stats, const QueryContext* ctx) const {
   if (id >= subtrees_.size()) {
     return Status::InvalidArgument("sub-tree id out of range");
   }
@@ -152,12 +152,15 @@ StatusOr<std::shared_ptr<const CountedTree>> TreeIndex::OpenSubTree(
   // read; the insert below keeps exactly one copy). Transient device errors
   // are retried; Corruption fails straight through (and is never inserted
   // into the cache below).
+  // The device-read boundary: a cache hit above always succeeds, but a dead
+  // query does not get to start a sub-tree load.
+  if (ctx != nullptr) ERA_RETURN_NOT_OK(ctx->Check());
   auto tree = std::make_shared<CountedTree>();
   std::string prefix;
   const std::string path = dir_ + "/" + subtrees_[id].filename;
   uint64_t retries = 0;
   Status load = RunWithRetry(
-      cache.options.retry,
+      cache.options.retry, ctx,
       [&] {
         tree->mutable_nodes().clear();
         return ReadCountedSubTree(env, path, tree.get(), &prefix, stats);

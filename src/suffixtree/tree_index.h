@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "io/env.h"
 #include "io/io_stats.h"
@@ -73,9 +74,13 @@ class TreeIndex {
   /// Reads (and caches) sub-tree `id` in the counted serving layout.
   /// Thread-safe; cache hits/misses and eviction volume are billed to
   /// `stats` when given. Concurrent misses on the same id may load the file
-  /// more than once; exactly one copy is retained.
+  /// more than once; exactly one copy is retained. `ctx` (may be null) is
+  /// the caller's deadline/cancellation context: a cache hit always
+  /// succeeds, but a miss checks it before touching the device and its
+  /// retry backoffs never sleep past the deadline.
   StatusOr<std::shared_ptr<const CountedTree>> OpenSubTree(
-      Env* env, uint32_t id, IoStats* stats) const;
+      Env* env, uint32_t id, IoStats* stats,
+      const QueryContext* ctx = nullptr) const;
 
   /// Replaces the cache with a fresh one using `options`. Call before
   /// serving traffic; NOT safe concurrently with OpenSubTree.

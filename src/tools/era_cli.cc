@@ -12,9 +12,10 @@
 // (1-based call counts), read_permanent / write_permanent (0/1),
 // enospc_after (bytes, K/M/G suffixes), path (substring filter).
 //
-// Exit codes: 0 success, 1 failure, 2 usage error, 3 I/O error — so drills
-// and CI can tell a bad invocation from a bad device.
-//   era_cli query  <index-dir> <pattern> [--limit N]
+// Exit codes: 0 success, 1 failure, 2 usage error, 3 I/O error, 4 deadline
+// exceeded, 5 shed/overloaded — so drills and CI can tell a bad invocation
+// from a bad device from an overloaded server.
+//   era_cli query  <index-dir> <pattern> [--limit N] [--deadline-ms N]
 //   era_cli stats  <index-dir>
 //   era_cli verify <index-dir>            (loads text + validates everything)
 //   era_cli generate <out-file> <dna|protein|english> <bytes> [seed]
@@ -64,7 +65,7 @@ int Usage() {
       "       (--resume skips groups an earlier killed build completed;\n"
       "        --faults injects deterministic failures, e.g.\n"
       "        read_transient=0.01,enospc_after=64MB,seed=7)\n"
-      "  era_cli query  <index-dir> <pattern> [--limit N]\n"
+      "  era_cli query  <index-dir> <pattern> [--limit N] [--deadline-ms N]\n"
       "  era_cli stats  <index-dir>\n"
       "  era_cli verify <index-dir>\n"
       "  era_cli generate <out-file> <dna|protein|english> <bytes> [seed]\n"
@@ -77,14 +78,19 @@ int Usage() {
       "       (each doc-file is one document; with --fasta every record of\n"
       "        every file becomes a document; --synthetic N generates N\n"
       "        documents of ~M bytes)\n"
-      "  era_cli doc-query <index-dir> <pattern> [--top K] [--doc NAME]\n");
+      "  era_cli doc-query <index-dir> <pattern> [--top K] [--doc NAME]\n"
+      "                 [--deadline-ms N]\n");
   return 2;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  // I/O failures exit 3 so scripts can separate "device/file problem"
-  // (retryable, maybe --resume) from logic failures (exit 1).
+  // Distinct exit codes so scripts can separate "device/file problem"
+  // (exit 3, retryable, maybe --resume), "deadline exceeded" (exit 4, the
+  // query was too slow, not wrong) and "shed/overloaded" (exit 5, retry
+  // elsewhere or later) from logic failures (exit 1).
+  if (status.IsDeadlineExceeded()) return 4;
+  if (status.IsResourceExhausted()) return 5;
   return status.IsIOError() ? 3 : 1;
 }
 
@@ -114,6 +120,34 @@ bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
     if (arg == flag) return true;
   }
   return false;
+}
+
+/// The caller's --deadline-ms as a QueryContext (no deadline when absent or
+/// zero). The clock starts at parse time — the deadline covers the query
+/// itself, not the index open, matching a server that admits after startup.
+QueryContext ContextFromArgs(const std::vector<std::string>& args) {
+  const double ms =
+      std::strtod(FlagValue(args, "--deadline-ms", "0").c_str(), nullptr);
+  if (ms <= 0) return QueryContext::Background();
+  return QueryContext::WithTimeout(ms / 1000.0);
+}
+
+/// One line of serving-degradation counters, printed only when something
+/// actually degraded so the happy path stays clean.
+void PrintServingStats(const ServingStats& serving) {
+  if (serving.shed == 0 && serving.deadline_exceeded == 0 &&
+      serving.cancelled == 0 && serving.deadline_evicted == 0) {
+    return;
+  }
+  std::printf(
+      "serving: admitted=%llu queued=%llu shed=%llu deadline_exceeded=%llu "
+      "cancelled=%llu deadline_evicted=%llu\n",
+      static_cast<unsigned long long>(serving.admitted),
+      static_cast<unsigned long long>(serving.queued),
+      static_cast<unsigned long long>(serving.shed),
+      static_cast<unsigned long long>(serving.deadline_exceeded),
+      static_cast<unsigned long long>(serving.cancelled),
+      static_cast<unsigned long long>(serving.deadline_evicted));
 }
 
 int CmdBuild(const std::vector<std::string>& args) {
@@ -230,11 +264,18 @@ int CmdQuery(const std::vector<std::string>& args) {
   if (!engine.ok()) return Fail(engine.status());
   std::size_t limit = static_cast<std::size_t>(
       std::strtoull(FlagValue(args, "--limit", "10").c_str(), nullptr, 10));
+  const QueryContext ctx = ContextFromArgs(args);
 
-  auto count = (*engine)->Count(args[1]);
-  if (!count.ok()) return Fail(count.status());
-  auto hits = (*engine)->Locate(args[1], limit);
-  if (!hits.ok()) return Fail(hits.status());
+  auto count = (*engine)->Count(ctx, args[1]);
+  if (!count.ok()) {
+    PrintServingStats((*engine)->serving());
+    return Fail(count.status());
+  }
+  auto hits = (*engine)->Locate(ctx, args[1], limit);
+  if (!hits.ok()) {
+    PrintServingStats((*engine)->serving());
+    return Fail(hits.status());
+  }
   std::printf("%llu occurrence(s)", static_cast<unsigned long long>(*count));
   if (!hits->empty()) {
     std::printf("; first %zu:", hits->size());
@@ -348,6 +389,7 @@ int CmdBenchQuery(const std::vector<std::string>& args) {
       static_cast<unsigned long long>(stats.leaves_enumerated),
       static_cast<unsigned long long>(stats.trie_resolved_counts),
       static_cast<unsigned long long>(replay->occurrence_checksum));
+  PrintServingStats((*engine)->serving());
   return 0;
 }
 
@@ -429,6 +471,24 @@ int CmdBuildCollection(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// doc-query's failure path: the doc-level degradation counters plus the
+/// engine-level serving line, then the status-mapped exit code.
+int FailDocQuery(DocEngine& engine, const Status& status) {
+  const DocQueryStats stats = engine.doc_stats();
+  if (stats.unavailable_queries != 0 || stats.deadline_exceeded != 0 ||
+      stats.shed != 0) {
+    std::printf(
+        "doc-serving: unavailable=%llu deadline_exceeded=%llu shed=%llu "
+        "quarantined_subtrees=%zu\n",
+        static_cast<unsigned long long>(stats.unavailable_queries),
+        static_cast<unsigned long long>(stats.deadline_exceeded),
+        static_cast<unsigned long long>(stats.shed),
+        engine.quarantine().size());
+  }
+  PrintServingStats(engine.serving());
+  return Fail(status);
+}
+
 int CmdDocQuery(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   auto engine = DocEngine::Open(GetDefaultEnv(), args[0]);
@@ -436,9 +496,10 @@ int CmdDocQuery(const std::vector<std::string>& args) {
   const std::string& pattern = args[1];
   const std::size_t top = static_cast<std::size_t>(
       std::strtoull(FlagValue(args, "--top", "5").c_str(), nullptr, 10));
+  const QueryContext ctx = ContextFromArgs(args);
 
-  auto histogram = (*engine)->DocumentHistogram(pattern);
-  if (!histogram.ok()) return Fail(histogram.status());
+  auto histogram = (*engine)->DocumentHistogram(ctx, pattern);
+  if (!histogram.ok()) return FailDocQuery(**engine, histogram.status());
   uint64_t occurrences = 0;
   for (const DocHit& hit : *histogram) occurrences += hit.occurrences;
   std::printf("%zu of %u documents match (%llu occurrences)\n",
@@ -454,8 +515,8 @@ int CmdDocQuery(const std::vector<std::string>& args) {
   if (!doc_name.empty()) {
     auto doc_id = (*engine)->documents().FindDocument(doc_name);
     if (!doc_id.ok()) return Fail(doc_id.status());
-    auto local = (*engine)->LocateInDoc(pattern, *doc_id);
-    if (!local.ok()) return Fail(local.status());
+    auto local = (*engine)->LocateInDoc(ctx, pattern, *doc_id);
+    if (!local.ok()) return FailDocQuery(**engine, local.status());
     std::printf("%s: %zu occurrence(s)", doc_name.c_str(), local->size());
     const std::size_t shown = std::min<std::size_t>(local->size(), 20);
     if (shown > 0) {

@@ -19,7 +19,21 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
   EXPECT_TRUE(Status::OutOfBudget("x").IsOutOfBudget());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_FALSE(Status::IOError("x").ok());
+}
+
+TEST(StatusTest, ServingCodesAreDistinct) {
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsCancelled());
+  EXPECT_FALSE(Status::Cancelled("x").IsResourceExhausted());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsDeadlineExceeded());
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::ResourceExhausted("full").ToString(),
+            "ResourceExhausted: full");
 }
 
 TEST(StatusTest, ToStringIncludesCodeAndMessage) {
