@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "suffixtree/node.h"
 
 namespace era {
 
@@ -108,6 +109,12 @@ struct BuildOptions {
   /// checkpoint degrades to a full rebuild (never an error). The resumed
   /// index is byte-identical to an uninterrupted build.
   bool resume = false;
+
+  /// On-disk sub-tree format to emit (node.h). kPacked (v3) bit-packs node
+  /// records and delta/varint-encodes leaf slots — typically 2-4x smaller on
+  /// disk and in the serving cache; kCounted (v2) writes fixed 32-byte
+  /// records. Readers accept both, and queries answer identically.
+  SubTreeFormat format = SubTreeFormat::kPacked;
 
   /// Directory that receives serialized sub-trees and the index manifest.
   std::string work_dir;

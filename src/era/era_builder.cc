@@ -134,7 +134,8 @@ StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
   } else {
     uint32_t file_crc = 0;
     ERA_RETURN_NOT_OK(WriteSubTree(options.GetEnv(), path, prefix, tree,
-                                   &out->write_io, &file_crc));
+                                   &out->write_io, &file_crc,
+                                   options.format));
     if (checkpoint != nullptr) {
       checkpoint->NoteSubTreeWritten(group_id, k, file_crc);
     }

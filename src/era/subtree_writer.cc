@@ -24,9 +24,11 @@ struct WriteJob {
 
 BackgroundSubTreeWriter::BackgroundSubTreeWriter(Env* env,
                                                  std::size_t num_threads,
-                                                 uint64_t max_queued_bytes)
+                                                 uint64_t max_queued_bytes,
+                                                 SubTreeFormat format)
     : env_(env),
       max_queued_bytes_(std::max<uint64_t>(max_queued_bytes, 1)),
+      format_(format),
       pool_(num_threads) {}
 
 BackgroundSubTreeWriter::~BackgroundSubTreeWriter() { (void)Drain(); }
@@ -74,7 +76,7 @@ void BackgroundSubTreeWriter::Enqueue(std::string path, std::string prefix,
     IoStats local;
     uint32_t file_crc = 0;
     Status s = WriteSubTree(env_, job->path, job->prefix, job->tree, &local,
-                            &file_crc);
+                            &file_crc, format_);
     {
       std::lock_guard<std::mutex> lock(mu_);
       io_.Add(local);

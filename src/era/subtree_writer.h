@@ -32,9 +32,11 @@ class BackgroundSubTreeWriter {
   /// `max_queued_bytes` bounds the in-memory backlog (tree bytes accepted
   /// but not yet written); Enqueue blocks while it is exceeded. A tree
   /// larger than the whole bound is still admitted once the queue is empty,
-  /// so progress is always possible.
+  /// so progress is always possible. `format` selects the on-disk sub-tree
+  /// format every job is written in.
   BackgroundSubTreeWriter(Env* env, std::size_t num_threads,
-                          uint64_t max_queued_bytes);
+                          uint64_t max_queued_bytes,
+                          SubTreeFormat format = SubTreeFormat::kPacked);
   /// Drains outstanding writes (errors are reported via Drain; call it).
   ~BackgroundSubTreeWriter();
 
@@ -69,6 +71,7 @@ class BackgroundSubTreeWriter {
  private:
   Env* env_;
   uint64_t max_queued_bytes_;
+  SubTreeFormat format_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -9,9 +9,11 @@ namespace era {
 namespace {
 
 /// Iterative DFS over one sub-tree invoking `visit(node, depth)` for every
-/// internal node with >= 2 children (true branching points).
+/// internal node with >= 2 children (true branching points). Walks the
+/// serving form through the NodeView cursor, so compressed (v3) trees are
+/// traversed without inflating.
 template <typename Visit>
-void VisitBranchingNodes(const CountedTree& tree, Visit&& visit) {
+void VisitBranchingNodes(const ServedSubTree& tree, Visit&& visit) {
   struct Frame {
     uint32_t node;
     uint64_t depth;
@@ -20,7 +22,7 @@ void VisitBranchingNodes(const CountedTree& tree, Visit&& visit) {
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
-    const CountedNode& n = tree.node(f.node);
+    const NodeView n = tree.node(f.node);
     if (n.IsLeaf()) continue;
     for (uint32_t i = 0; i < n.num_children; ++i) {
       uint32_t c = n.children_begin + i;
@@ -31,10 +33,14 @@ void VisitBranchingNodes(const CountedTree& tree, Visit&& visit) {
 }
 
 /// First leaf position under `node` (cheap existence witness).
-uint64_t FirstLeafUnder(const CountedTree& tree, uint32_t node) {
+uint64_t FirstLeafUnder(const ServedSubTree& tree, uint32_t node) {
   uint32_t u = node;
-  while (!tree.node(u).IsLeaf()) u = tree.node(u).children_begin;
-  return tree.node(u).leaf_id();
+  NodeView v = tree.node(u);
+  while (!v.IsLeaf()) {
+    u = v.children_begin;
+    v = tree.node(u);
+  }
+  return tree.LeafIdOf(v);
 }
 
 }  // namespace
@@ -107,11 +113,12 @@ StatusOr<Motif> MostFrequentKmer(Env* env, const TreeIndex& index,
     while (!stack.empty()) {
       Frame f = stack.back();
       stack.pop_back();
-      const CountedNode& n = tree->node(f.node);
+      const NodeView n = tree->node(f.node);
       if (f.depth >= k) {
         // All leaves below share the first k symbols.
         std::vector<uint64_t> leaves;
-        CollectLeaves(*tree, f.node, &leaves);
+        ERA_RETURN_NOT_OK(
+            tree->CollectLeaves(f.node, nullptr, SIZE_MAX, &leaves));
         // Exclude windows that would run past the text body (terminal), and
         // witness the motif with an occurrence that lies fully inside it.
         uint64_t offset = leaves.front();
@@ -158,10 +165,12 @@ StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
   Substring best;
   for (uint32_t id = 0; id < index.subtrees().size(); ++id) {
     ERA_ASSIGN_OR_RETURN(auto tree, index.OpenSubTree(env, id, nullptr));
+    Status collect = Status::OK();
     VisitBranchingNodes(*tree, [&](uint32_t node, uint64_t depth) {
-      if (depth <= best.length) return;
+      if (!collect.ok() || depth <= best.length) return;
       std::vector<uint64_t> leaves;
-      CollectLeaves(*tree, node, &leaves);
+      collect = tree->CollectLeaves(node, nullptr, SIZE_MAX, &leaves);
+      if (!collect.ok()) return;
       bool has_a = false;
       bool has_b = false;
       uint64_t witness = 0;
@@ -183,6 +192,7 @@ StatusOr<Substring> LongestCommonSubstring(Env* env, const TreeIndex& index,
       best.length = depth;
       best.offset = witness;
     });
+    ERA_RETURN_NOT_OK(collect);
   }
   return best;
 }

@@ -117,7 +117,7 @@ std::map<uint32_t, uint64_t> QueryEngine::quarantine() const {
   return quarantine_;
 }
 
-StatusOr<std::shared_ptr<const CountedTree>>
+StatusOr<std::shared_ptr<const ServedSubTree>>
 QueryEngine::OpenSubTreeOrQuarantine(uint32_t id, Session* session,
                                      const QueryContext& ctx) {
   auto tree = index_.OpenSubTree(env_, id, &session->io, &ctx);
@@ -160,10 +160,10 @@ Status QueryEngine::Lease::Acquire(QueryEngine* engine) {
   return Status::OK();
 }
 
-StatusOr<uint32_t> QueryEngine::FindChild(const CountedTree& tree,
+StatusOr<uint32_t> QueryEngine::FindChild(const ServedSubTree& tree,
                                           uint32_t node, char symbol,
                                           Session* session) {
-  const CountedNode& n = tree.node(node);
+  const NodeView n = tree.node(node);
   uint32_t lo = 0;
   uint32_t hi = n.num_children;
   // The builders sort sibling blocks by unsigned byte value (the radix
@@ -174,7 +174,7 @@ StatusOr<uint32_t> QueryEngine::FindChild(const CountedTree& tree,
   uint32_t got = 0;
   while (lo < hi) {
     uint32_t mid = lo + (hi - lo) / 2;
-    const CountedNode& c = tree.node(n.children_begin + mid);
+    const NodeView c = tree.node(n.children_begin + mid);
     ERA_RETURN_NOT_OK(
         session->reader->RandomFetch(c.edge_start, 1, &first, &got));
     if (got != 1) return Status::Corruption("edge label out of text");
@@ -192,7 +192,7 @@ StatusOr<uint32_t> QueryEngine::FindChild(const CountedTree& tree,
 }
 
 StatusOr<QueryEngine::SubTreeMatch> QueryEngine::MatchInSubTree(
-    const CountedTree& tree, const QueryContext& ctx,
+    const ServedSubTree& tree, const QueryContext& ctx,
     const std::string& pattern, Session* session) {
   SubTreeMatch result;
   uint32_t node = 0;
@@ -205,7 +205,7 @@ StatusOr<QueryEngine::SubTreeMatch> QueryEngine::MatchInSubTree(
     ERA_ASSIGN_OR_RETURN(uint32_t child,
                          FindChild(tree, node, pattern[matched], session));
     if (child == kNilNode) return result;  // no child continues the pattern
-    const CountedNode& c = tree.node(child);
+    const NodeView c = tree.node(child);
     // FindChild verified the first label symbol; walk the rest of the label.
     uint32_t j = 1;
     ++matched;
@@ -239,7 +239,7 @@ StatusOr<uint64_t> QueryEngine::CountWithSession(Session* session,
   ERA_RETURN_NOT_OK(ctx.Check());
   ++session->stats.queries;
 
-  PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
+  PrefixTrie::DescendResult walk = index_.Route(pattern);
   if (walk.pattern_exhausted) {
     // Frequencies are precomputed in the trie: no sub-tree I/O needed.
     ++session->stats.trie_resolved_counts;
@@ -253,31 +253,40 @@ StatusOr<uint64_t> QueryEngine::CountWithSession(Session* session,
   ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
                        MatchInSubTree(*tree, ctx, pattern, session));
   if (!match.matched) return 0;
-  // The counted layout answers from the match node alone — no enumeration.
-  return tree->node(match.node).LeafCount();
+  // Both serving forms answer from the match node alone — no enumeration.
+  return tree->node(match.node).count;
 }
 
 StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
     Session* session, const QueryContext& ctx, const std::string& pattern,
-    std::size_t limit) {
+    std::size_t limit, LocateOrder order) {
   if (pattern.empty()) return Status::InvalidArgument("empty pattern");
   ERA_RETURN_NOT_OK(ctx.Check());
   ++session->stats.queries;
 
+  // kSmallest must see every occurrence before selecting; kArbitrary stops
+  // decoding leaf slots the moment `limit` are in hand — that bound holds
+  // across sub-trees too (the exhausted-pattern path below stops opening
+  // further sub-trees once filled).
+  const std::size_t collect_limit =
+      order == LocateOrder::kArbitrary ? limit : SIZE_MAX;
+
   std::vector<uint64_t> hits;
-  PrefixTrie::DescendResult walk = index_.trie().Descend(pattern);
+  PrefixTrie::DescendResult walk = index_.Route(pattern);
   if (walk.pattern_exhausted) {
     // Every suffix below this trie node starts with the pattern.
     std::vector<PrefixTrie::Entry> entries;
     index_.trie().CollectEntries(walk.node, &entries);
     for (const auto& entry : entries) {
+      if (hits.size() >= collect_limit) break;
       ERA_RETURN_NOT_OK(ctx.Check());
       if (entry.subtree_id >= 0) {
         ERA_ASSIGN_OR_RETURN(
             auto tree,
             OpenSubTreeOrQuarantine(static_cast<uint32_t>(entry.subtree_id),
                                     session, ctx));
-        ERA_RETURN_NOT_OK(CollectLeaves(*tree, 0, ctx, &hits));
+        ERA_RETURN_NOT_OK(
+            tree->CollectLeaves(0, &ctx, collect_limit - hits.size(), &hits));
       } else {
         hits.push_back(entry.leaf_position);
       }
@@ -295,11 +304,14 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
     ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
                          MatchInSubTree(*tree, ctx, pattern, session));
     if (match.matched) {
-      ERA_RETURN_NOT_OK(CollectLeaves(*tree, match.node, ctx, &hits));
+      ERA_RETURN_NOT_OK(
+          tree->CollectLeaves(match.node, &ctx, collect_limit, &hits));
     }
   }
+  // Counts what was actually decoded — kArbitrary's whole point is that
+  // this stays O(limit) instead of O(occurrences).
   session->stats.leaves_enumerated += hits.size();
-  // Locate guarantees the smallest `limit` offsets, not the first `limit`
+  // kSmallest guarantees the smallest `limit` offsets, not the first `limit`
   // in tree order; a small limit only pays a selection, not a full sort.
   if (hits.size() > limit) {
     std::nth_element(hits.begin(), hits.begin() + limit, hits.end());
@@ -326,19 +338,21 @@ StatusOr<uint64_t> QueryEngine::Count(const QueryContext& ctx,
 }
 
 StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const std::string& pattern,
-                                                    std::size_t limit) {
-  return Locate(QueryContext::Background(), pattern, limit);
+                                                    std::size_t limit,
+                                                    LocateOrder order) {
+  return Locate(QueryContext::Background(), pattern, limit, order);
 }
 
 StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const QueryContext& ctx,
                                                     const std::string& pattern,
-                                                    std::size_t limit) {
+                                                    std::size_t limit,
+                                                    LocateOrder order) {
   Permit permit;
   ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   ReaderContextGuard guard(lease.get(), &ctx);
-  auto result = LocateWithSession(lease.get(), ctx, pattern, limit);
+  auto result = LocateWithSession(lease.get(), ctx, pattern, limit, order);
   if (!result.ok()) admission_.RecordOutcome(result.status());
   return result;
 }
@@ -384,7 +398,7 @@ StatusOr<std::vector<std::vector<uint64_t>>> QueryEngine::LocateBatch(
     ERA_ASSIGN_OR_RETURN(auto hits,
                          LocateWithSession(lease.get(),
                                            QueryContext::Background(), pattern,
-                                           limit));
+                                           limit, LocateOrder::kSmallest));
     results.push_back(std::move(hits));
   }
   return results;
@@ -445,7 +459,8 @@ StatusOr<std::vector<LocateOutcome>> QueryEngine::LocateBatch(
       outcomes[i].status = terminal;
       continue;
     }
-    auto result = LocateWithSession(lease.get(), ctx, patterns[i], limit);
+    auto result = LocateWithSession(lease.get(), ctx, patterns[i], limit,
+                                    LocateOrder::kSmallest);
     if (result.ok()) {
       outcomes[i].offsets = std::move(*result);
     } else {

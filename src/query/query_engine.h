@@ -1,12 +1,15 @@
 // Query engine over a built TreeIndex: exact pattern search in O(|P|)
 // symbol comparisons (the suffix tree's raison d'être, Section 1).
 //
-// A query walks the in-memory trie to the responsible sub-tree, loads it
+// A query routes through the index's k-mer dispatch table (one array probe
+// replacing the pointer-trie walk) to the responsible sub-tree, loads it
 // through the index's sharded LRU cache, and continues matching against edge
-// labels resolved from the text through a buffered reader. Child lookup
-// inside a sub-tree is a binary search over the contiguous, first-symbol-
-// sorted child block of the counted layout; Count reads the match node's
-// subtree leaf count and never enumerates leaves.
+// labels resolved from the text through a buffered reader. Sub-trees are
+// walked in their serving form (ServedSubTree): compressed v3 payloads are
+// never inflated — child lookup is a binary search over the bit-packed,
+// first-symbol-sorted child block, and Count reads the match node's stored
+// subtree leaf count, so the O(|P|) bound holds with zero leaf enumeration
+// for either format.
 //
 // The engine is thread-safe: any number of threads may issue queries
 // concurrently. Each call leases a text-reader session from an internal pool
@@ -91,6 +94,19 @@ struct LocateOutcome {
   std::vector<uint64_t> offsets;
 };
 
+/// What a limited Locate promises about WHICH occurrences it returns.
+enum class LocateOrder {
+  /// The smallest `limit` offsets: every occurrence is enumerated, then a
+  /// selection keeps the smallest. Deterministic, but the enumeration cost
+  /// is proportional to the total occurrence count, not the limit.
+  kSmallest,
+  /// Any `limit` occurrences (still returned sorted): decoding stops after
+  /// `limit` leaf slots, so a huge posting list costs O(limit) leaf decodes.
+  /// Use when the caller needs *some* occurrences — existence samples,
+  /// result-page seeds — rather than the smallest ones.
+  kArbitrary,
+};
+
 /// Read-side facade over an index directory.
 class QueryEngine {
  public:
@@ -105,14 +121,16 @@ class QueryEngine {
   StatusOr<uint64_t> Count(const std::string& pattern);
   StatusOr<uint64_t> Count(const QueryContext& ctx, const std::string& pattern);
 
-  /// Starting offsets of occurrences, ascending. With a `limit`, the
-  /// *smallest* `limit` offsets are returned (all occurrences are collected
-  /// and sorted before truncation).
-  StatusOr<std::vector<uint64_t>> Locate(const std::string& pattern,
-                                         std::size_t limit = SIZE_MAX);
-  StatusOr<std::vector<uint64_t>> Locate(const QueryContext& ctx,
-                                         const std::string& pattern,
-                                         std::size_t limit = SIZE_MAX);
+  /// Starting offsets of occurrences, ascending. With a `limit`, `order`
+  /// picks the contract: kSmallest (default) collects every occurrence and
+  /// keeps the smallest `limit`; kArbitrary stops decoding after `limit`
+  /// leaf slots (see LocateOrder).
+  StatusOr<std::vector<uint64_t>> Locate(
+      const std::string& pattern, std::size_t limit = SIZE_MAX,
+      LocateOrder order = LocateOrder::kSmallest);
+  StatusOr<std::vector<uint64_t>> Locate(
+      const QueryContext& ctx, const std::string& pattern,
+      std::size_t limit = SIZE_MAX, LocateOrder order = LocateOrder::kSmallest);
 
   /// True iff `pattern` occurs at least once (via Count; no enumeration).
   StatusOr<bool> Contains(const std::string& pattern);
@@ -215,7 +233,7 @@ class QueryEngine {
   /// damaged file fails its own queries instead of the process. A deadline
   /// or cancellation abandon is NOT the file's fault and passes through
   /// without quarantining.
-  StatusOr<std::shared_ptr<const CountedTree>> OpenSubTreeOrQuarantine(
+  StatusOr<std::shared_ptr<const ServedSubTree>> OpenSubTreeOrQuarantine(
       uint32_t id, Session* session, const QueryContext& ctx);
 
   StatusOr<uint64_t> CountWithSession(Session* session,
@@ -224,21 +242,22 @@ class QueryEngine {
   StatusOr<std::vector<uint64_t>> LocateWithSession(Session* session,
                                                     const QueryContext& ctx,
                                                     const std::string& pattern,
-                                                    std::size_t limit);
+                                                    std::size_t limit,
+                                                    LocateOrder order);
 
   /// Match outcome inside one sub-tree.
   struct SubTreeMatch {
     bool matched = false;
     uint32_t node = 0;  // node whose subtree holds all occurrences
   };
-  StatusOr<SubTreeMatch> MatchInSubTree(const CountedTree& tree,
+  StatusOr<SubTreeMatch> MatchInSubTree(const ServedSubTree& tree,
                                         const QueryContext& ctx,
                                         const std::string& pattern,
                                         Session* session);
   /// Child of `node` whose edge starts with `symbol` (binary search over the
   /// sorted child block; first symbols resolve through the session reader).
   /// kNilNode if absent.
-  StatusOr<uint32_t> FindChild(const CountedTree& tree, uint32_t node,
+  StatusOr<uint32_t> FindChild(const ServedSubTree& tree, uint32_t node,
                                char symbol, Session* session);
 
   Env* env_;

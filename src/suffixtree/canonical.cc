@@ -93,6 +93,51 @@ SaLcp TreeToSaLcp(const CountedTree& tree) {
   return out;
 }
 
+SaLcp TreeToSaLcp(const ServedSubTree& tree) {
+  SaLcp out;
+  if (tree.size() == 0) return out;
+
+  // Mirrors the CountedTree overload through the NodeView cursor, so the
+  // traversal never materializes CountedNode records for compressed trees.
+  struct Frame {
+    uint32_t node;
+    uint64_t depth;       // string depth at this node
+    uint32_t next_child;  // next unvisited child (0 .. num_children)
+  };
+  std::vector<Frame> stack;
+  uint64_t pending_lcp = 0;
+  bool first_leaf = true;
+
+  const NodeView root = tree.node(0);
+  if (root.IsLeaf()) {
+    out.sa.push_back(tree.LeafIdOf(root));
+    return out;
+  }
+  stack.push_back({0, 0, 0});
+
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const NodeView node = tree.node(top.node);
+    if (top.next_child == node.num_children) {
+      stack.pop_back();
+      if (!stack.empty()) pending_lcp = stack.back().depth;
+      continue;
+    }
+    uint32_t c = node.children_begin + top.next_child;
+    ++top.next_child;
+    const NodeView child = tree.node(c);
+    if (child.IsLeaf()) {
+      if (!first_leaf) out.lcp.push_back(pending_lcp);
+      out.sa.push_back(tree.LeafIdOf(child));
+      first_leaf = false;
+      pending_lcp = top.depth;
+    } else {
+      stack.push_back({c, top.depth + child.edge_len, 0});
+    }
+  }
+  return out;
+}
+
 uint64_t CountLeaves(const TreeBuffer& tree) {
   uint64_t n = 0;
   for (uint32_t i = 0; i < tree.size(); ++i) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "suffixtree/compressed_tree.h"
 #include "suffixtree/tree_buffer.h"
 
 namespace era {
@@ -29,6 +30,9 @@ struct SaLcp {
 /// checks it).
 SaLcp TreeToSaLcp(const TreeBuffer& tree);
 SaLcp TreeToSaLcp(const CountedTree& tree);
+/// Serving-form overload: walks the NodeView cursor API directly, so it works
+/// on both counted and compressed (format v3) trees without inflating.
+SaLcp TreeToSaLcp(const ServedSubTree& tree);
 
 /// Leaf count of the tree (number of suffixes indexed). Both overloads scan
 /// the node array (the CountedTree one deliberately ignores the stored

@@ -25,6 +25,14 @@
 
 namespace era {
 
+/// On-disk sub-tree format a builder emits (numeric values match the file
+/// header's version field). v1 (linked) is read-only legacy; builders choose
+/// between the counted array (v2) and the bit-packed compressed form (v3).
+enum class SubTreeFormat : uint32_t {
+  kCounted = 2,
+  kPacked = 3,
+};
+
 /// Sentinel for "no node".
 inline constexpr uint32_t kNilNode = 0xFFFFFFFFu;
 /// Sentinel leaf id for internal nodes.

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/codec.h"
 #include "common/crc32.h"
 
 namespace era {
@@ -12,6 +13,7 @@ namespace {
 constexpr char kMagic[8] = {'E', 'R', 'A', 'S', 'U', 'B', 'T', 'R'};
 constexpr uint32_t kVersionLinked = 1;
 constexpr uint32_t kVersionCounted = 2;
+constexpr uint32_t kVersionPacked = 3;
 
 struct Header {
   char magic[8];
@@ -23,20 +25,20 @@ struct Header {
 };
 static_assert(sizeof(Header) == 32, "keep the header fixed-size");
 
-/// v1 checksums with IEEE CRC-32 (what legacy files carry); v2 with the
+/// v1 checksums with IEEE CRC-32 (what legacy files carry); v2/v3 with the
 /// hardware-dispatched CRC-32C.
 uint32_t PayloadCrc(uint32_t version, const std::string& prefix,
-                    const void* nodes, std::size_t node_bytes) {
+                    const void* payload, std::size_t payload_bytes) {
   if (version == kVersionLinked) {
-    return Crc32(nodes, node_bytes, Crc32(prefix.data(), prefix.size()));
+    return Crc32(payload, payload_bytes, Crc32(prefix.data(), prefix.size()));
   }
-  return Crc32c(nodes, node_bytes, Crc32c(prefix.data(), prefix.size()));
+  return Crc32c(payload, payload_bytes, Crc32c(prefix.data(), prefix.size()));
 }
 
 Status WritePayload(Env* env, const std::string& path,
                     const std::string& prefix, uint32_t version,
-                    const void* nodes, uint64_t node_count,
-                    std::size_t node_bytes, IoStats* stats,
+                    const void* payload, uint64_t node_count,
+                    std::size_t payload_bytes, IoStats* stats,
                     uint32_t* file_crc) {
   Header header;
   std::memcpy(header.magic, kMagic, sizeof(kMagic));
@@ -44,7 +46,7 @@ Status WritePayload(Env* env, const std::string& path,
   header.prefix_len = static_cast<uint32_t>(prefix.size());
   header.node_count = node_count;
   header.reserved = 0;
-  header.crc = PayloadCrc(version, prefix, nodes, node_bytes);
+  header.crc = PayloadCrc(version, prefix, payload, payload_bytes);
 
   // Atomic + durable: stream into <path>.tmp, Sync, rename. A crash leaves
   // either no file or the complete file, never a torn sub-tree a serving
@@ -55,21 +57,24 @@ Status WritePayload(Env* env, const std::string& path,
                                   sizeof(header)));
   ERA_RETURN_NOT_OK(writer.Append(prefix.data(), prefix.size()));
   ERA_RETURN_NOT_OK(
-      writer.Append(static_cast<const char*>(nodes), node_bytes));
+      writer.Append(static_cast<const char*>(payload), payload_bytes));
   ERA_RETURN_NOT_OK(writer.Commit());
   if (file_crc != nullptr) *file_crc = writer.crc32c();
   if (stats != nullptr) {
-    stats->bytes_written += sizeof(header) + prefix.size() + node_bytes;
+    stats->bytes_written += sizeof(header) + prefix.size() + payload_bytes;
   }
   return Status::OK();
 }
 
-/// Reads header + prefix + node array (validating magic, version, CRC and a
-/// non-empty node count). Exactly one of `v1_nodes`/`v2_nodes` is filled,
-/// selected by the version on disk; `*version_out` reports which.
+/// Reads header + prefix + payload (validating magic, version, CRC and a
+/// non-empty node count). Exactly one of `v1_nodes`/`v2_nodes`/`v3_payload`
+/// is filled, selected by the version on disk; `*version_out` reports which.
+/// The v3 payload is the raw byte string (decoded and structure-checked by
+/// CompressedSubTree::FromPayload).
 Status ReadPayload(Env* env, const std::string& path,
                    std::vector<TreeNode>* v1_nodes,
-                   std::vector<CountedNode>* v2_nodes, uint32_t* version_out,
+                   std::vector<CountedNode>* v2_nodes, std::string* v3_payload,
+                   uint64_t* node_count_out, uint32_t* version_out,
                    std::string* prefix_out, IoStats* stats) {
   ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
   Header header;
@@ -80,10 +85,15 @@ Status ReadPayload(Env* env, const std::string& path,
       std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad sub-tree magic in " + path);
   }
-  if (header.version != kVersionLinked && header.version != kVersionCounted) {
+  if (header.version != kVersionLinked && header.version != kVersionCounted &&
+      header.version != kVersionPacked) {
     return Status::NotSupported("unsupported sub-tree version in " + path);
   }
 
+  const uint64_t file_size = file->Size();
+  if (sizeof(header) + header.prefix_len > file_size) {
+    return Status::Corruption("truncated prefix in " + path);
+  }
   std::string prefix(header.prefix_len, '\0');
   ERA_RETURN_NOT_OK(
       file->Read(sizeof(header), prefix.size(), prefix.data(), &got));
@@ -91,38 +101,49 @@ Status ReadPayload(Env* env, const std::string& path,
     return Status::Corruption("truncated prefix in " + path);
   }
 
-  static_assert(sizeof(TreeNode) == sizeof(CountedNode),
-                "both node formats are 32 bytes");
-  // Guard the allocation below against a corrupt count before trusting it.
-  if (header.node_count > file->Size() / sizeof(TreeNode)) {
-    return Status::Corruption("node count exceeds file size in " + path);
-  }
-  std::size_t node_bytes = header.node_count * sizeof(TreeNode);
-  char* node_dst;
-  if (header.version == kVersionLinked) {
-    v1_nodes->resize(header.node_count);
-    node_dst = reinterpret_cast<char*>(v1_nodes->data());
+  std::size_t payload_bytes;
+  char* payload_dst;
+  if (header.version == kVersionPacked) {
+    // v3 payload size is whatever follows the prefix; the packed decoder
+    // cross-checks it against the node count and recorded section sizes.
+    payload_bytes = file_size - sizeof(header) - prefix.size();
+    v3_payload->resize(payload_bytes);
+    payload_dst = v3_payload->data();
   } else {
-    v2_nodes->resize(header.node_count);
-    node_dst = reinterpret_cast<char*>(v2_nodes->data());
+    static_assert(sizeof(TreeNode) == sizeof(CountedNode),
+                  "both node formats are 32 bytes");
+    // Guard the allocation below against a corrupt count before trusting it.
+    if (header.node_count > file_size / sizeof(TreeNode)) {
+      return Status::Corruption("node count exceeds file size in " + path);
+    }
+    payload_bytes = header.node_count * sizeof(TreeNode);
+    if (header.version == kVersionLinked) {
+      v1_nodes->resize(header.node_count);
+      payload_dst = reinterpret_cast<char*>(v1_nodes->data());
+    } else {
+      v2_nodes->resize(header.node_count);
+      payload_dst = reinterpret_cast<char*>(v2_nodes->data());
+    }
   }
-  ERA_RETURN_NOT_OK(
-      file->Read(sizeof(header) + prefix.size(), node_bytes, node_dst, &got));
-  if (got != node_bytes) {
+  ERA_RETURN_NOT_OK(file->Read(sizeof(header) + prefix.size(), payload_bytes,
+                               payload_dst, &got));
+  if (got != payload_bytes) {
     return Status::Corruption("truncated node array in " + path);
   }
 
-  uint32_t crc = PayloadCrc(header.version, prefix, node_dst, node_bytes);
+  uint32_t crc = PayloadCrc(header.version, prefix, payload_dst,
+                            payload_bytes);
   if (crc != header.crc) {
     return Status::Corruption("CRC mismatch in " + path);
   }
   if (header.node_count == 0) {
     return Status::Corruption("empty sub-tree in " + path);
   }
+  if (node_count_out != nullptr) *node_count_out = header.node_count;
   *version_out = header.version;
   if (prefix_out != nullptr) *prefix_out = std::move(prefix);
   if (stats != nullptr) {
-    stats->bytes_read += sizeof(header) + header.prefix_len + node_bytes;
+    stats->bytes_read += sizeof(header) + header.prefix_len + payload_bytes;
     ++stats->seeks;  // sub-tree loads are random accesses
   }
   return Status::OK();
@@ -132,7 +153,13 @@ Status ReadPayload(Env* env, const std::string& path,
 
 Status WriteCountedSubTree(Env* env, const std::string& path,
                            const std::string& prefix, const CountedTree& tree,
-                           IoStats* stats, uint32_t* file_crc) {
+                           IoStats* stats, uint32_t* file_crc,
+                           SubTreeFormat format) {
+  if (format == SubTreeFormat::kPacked) {
+    const std::string payload = CompressedSubTree::EncodePayload(tree);
+    return WritePayload(env, path, prefix, kVersionPacked, payload.data(),
+                        tree.size(), payload.size(), stats, file_crc);
+  }
   return WritePayload(env, path, prefix, kVersionCounted, tree.nodes().data(),
                       tree.size(), tree.size() * sizeof(CountedNode), stats,
                       file_crc);
@@ -140,9 +167,10 @@ Status WriteCountedSubTree(Env* env, const std::string& path,
 
 Status WriteSubTree(Env* env, const std::string& path,
                     const std::string& prefix, const TreeBuffer& tree,
-                    IoStats* stats, uint32_t* file_crc) {
+                    IoStats* stats, uint32_t* file_crc, SubTreeFormat format) {
   ERA_ASSIGN_OR_RETURN(CountedTree counted, BuildCountedTree(tree));
-  return WriteCountedSubTree(env, path, prefix, counted, stats, file_crc);
+  return WriteCountedSubTree(env, path, prefix, counted, stats, file_crc,
+                             format);
 }
 
 Status WriteSubTreeV1(Env* env, const std::string& path,
@@ -155,18 +183,26 @@ Status WriteSubTreeV1(Env* env, const std::string& path,
 
 Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
                    std::string* prefix_out, IoStats* stats) {
+  CountedTree counted;
   std::vector<TreeNode> v1_nodes;
-  std::vector<CountedNode> v2_nodes;
+  std::string v3_payload;
+  uint64_t node_count = 0;
   uint32_t version = 0;
-  ERA_RETURN_NOT_OK(ReadPayload(env, path, &v1_nodes, &v2_nodes, &version,
-                                prefix_out, stats));
+  ERA_RETURN_NOT_OK(ReadPayload(env, path, &v1_nodes,
+                                &counted.mutable_nodes(), &v3_payload,
+                                &node_count, &version, prefix_out, stats));
   if (version == kVersionLinked) {
     tree->mutable_nodes() = std::move(v1_nodes);
     return Status::OK();
   }
-  CountedTree counted;
-  counted.mutable_nodes() = std::move(v2_nodes);
-  if (Status s = ValidateCountedLayout(counted); !s.ok()) {
+  if (version == kVersionPacked) {
+    auto packed =
+        CompressedSubTree::FromPayload(std::move(v3_payload), node_count);
+    if (!packed.ok()) {
+      return packed.status().WithContext("packed sub-tree " + path);
+    }
+    ERA_ASSIGN_OR_RETURN(counted, packed->Inflate());
+  } else if (Status s = ValidateCountedLayout(counted); !s.ok()) {
     return Status::Corruption(s.message() + " in " + path);
   }
   ERA_ASSIGN_OR_RETURN(*tree, LinkedFromCounted(counted));
@@ -176,21 +212,99 @@ Status ReadSubTree(Env* env, const std::string& path, TreeBuffer* tree,
 Status ReadCountedSubTree(Env* env, const std::string& path, CountedTree* tree,
                           std::string* prefix_out, IoStats* stats) {
   std::vector<TreeNode> v1_nodes;
-  std::vector<CountedNode> v2_nodes;
+  std::string v3_payload;
+  uint64_t node_count = 0;
   uint32_t version = 0;
-  ERA_RETURN_NOT_OK(ReadPayload(env, path, &v1_nodes, &v2_nodes, &version,
-                                prefix_out, stats));
+  ERA_RETURN_NOT_OK(ReadPayload(env, path, &v1_nodes, &tree->mutable_nodes(),
+                                &v3_payload, &node_count, &version, prefix_out,
+                                stats));
   if (version == kVersionCounted) {
-    tree->mutable_nodes() = std::move(v2_nodes);
     if (Status s = ValidateCountedLayout(*tree); !s.ok()) {
       return Status::Corruption(s.message() + " in " + path);
     }
+    return Status::OK();
+  }
+  if (version == kVersionPacked) {
+    auto packed =
+        CompressedSubTree::FromPayload(std::move(v3_payload), node_count);
+    if (!packed.ok()) {
+      return packed.status().WithContext("packed sub-tree " + path);
+    }
+    ERA_ASSIGN_OR_RETURN(*tree, packed->Inflate());
     return Status::OK();
   }
   TreeBuffer linked;
   linked.mutable_nodes() = std::move(v1_nodes);
   ERA_ASSIGN_OR_RETURN(*tree, BuildCountedTree(linked));
   return Status::OK();
+}
+
+Status ReadServedSubTree(Env* env, const std::string& path,
+                         ServedSubTree* tree, std::string* prefix_out,
+                         IoStats* stats) {
+  std::vector<TreeNode> v1_nodes;
+  CountedTree counted;
+  std::string v3_payload;
+  uint64_t node_count = 0;
+  uint32_t version = 0;
+  ERA_RETURN_NOT_OK(ReadPayload(env, path, &v1_nodes,
+                                &counted.mutable_nodes(), &v3_payload,
+                                &node_count, &version, prefix_out, stats));
+  if (version == kVersionPacked) {
+    auto packed =
+        CompressedSubTree::FromPayload(std::move(v3_payload), node_count);
+    if (!packed.ok()) {
+      return packed.status().WithContext("packed sub-tree " + path);
+    }
+    *tree = ServedSubTree(std::move(packed).value());
+    return Status::OK();
+  }
+  if (version == kVersionLinked) {
+    TreeBuffer linked;
+    linked.mutable_nodes() = std::move(v1_nodes);
+    ERA_ASSIGN_OR_RETURN(counted, BuildCountedTree(linked));
+  } else if (Status s = ValidateCountedLayout(counted); !s.ok()) {
+    return Status::Corruption(s.message() + " in " + path);
+  }
+  *tree = ServedSubTree(std::move(counted));
+  return Status::OK();
+}
+
+StatusOr<SubTreeFileInfo> InspectSubTreeFile(Env* env,
+                                             const std::string& path) {
+  ERA_ASSIGN_OR_RETURN(auto file, env->OpenRandomAccess(path));
+  Header header;
+  std::size_t got = 0;
+  ERA_RETURN_NOT_OK(file->Read(0, sizeof(header),
+                               reinterpret_cast<char*>(&header), &got));
+  if (got != sizeof(header) ||
+      std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad sub-tree magic in " + path);
+  }
+  if (header.version != kVersionLinked && header.version != kVersionCounted &&
+      header.version != kVersionPacked) {
+    return Status::NotSupported("unsupported sub-tree version in " + path);
+  }
+  SubTreeFileInfo info;
+  info.version = header.version;
+  info.node_count = header.node_count;
+  info.file_bytes = file->Size();
+  if (sizeof(header) + header.prefix_len > info.file_bytes) {
+    return Status::Corruption("truncated prefix in " + path);
+  }
+  info.prefix.resize(header.prefix_len);
+  ERA_RETURN_NOT_OK(
+      file->Read(sizeof(header), info.prefix.size(), info.prefix.data(),
+                 &got));
+  if (got != info.prefix.size()) {
+    return Status::Corruption("truncated prefix in " + path);
+  }
+  info.payload_bytes = info.file_bytes - sizeof(header) - header.prefix_len;
+  info.inflated_bytes = header.node_count * sizeof(CountedNode);
+  info.serving_bytes = header.version == kVersionPacked
+                           ? info.payload_bytes + kBitReaderPadBytes
+                           : info.inflated_bytes;
+  return info;
 }
 
 }  // namespace era

@@ -126,10 +126,11 @@ StatusOr<TreeIndex> TreeIndex::Load(Env* env, const std::string& dir) {
   if (!saw_crc) {
     return Status::Corruption("manifest missing checksum line in " + dir);
   }
+  index.dispatch_.Build(index.trie_, index.text_.alphabet.symbols());
   return index;
 }
 
-StatusOr<std::shared_ptr<const CountedTree>> TreeIndex::OpenSubTree(
+StatusOr<std::shared_ptr<const ServedSubTree>> TreeIndex::OpenSubTree(
     Env* env, uint32_t id, IoStats* stats, const QueryContext* ctx) const {
   if (id >= subtrees_.size()) {
     return Status::InvalidArgument("sub-tree id out of range");
@@ -155,15 +156,15 @@ StatusOr<std::shared_ptr<const CountedTree>> TreeIndex::OpenSubTree(
   // The device-read boundary: a cache hit above always succeeds, but a dead
   // query does not get to start a sub-tree load.
   if (ctx != nullptr) ERA_RETURN_NOT_OK(ctx->Check());
-  auto tree = std::make_shared<CountedTree>();
+  auto tree = std::make_shared<ServedSubTree>();
   std::string prefix;
   const std::string path = dir_ + "/" + subtrees_[id].filename;
   uint64_t retries = 0;
   Status load = RunWithRetry(
       cache.options.retry, ctx,
       [&] {
-        tree->mutable_nodes().clear();
-        return ReadCountedSubTree(env, path, tree.get(), &prefix, stats);
+        *tree = ServedSubTree();
+        return ReadServedSubTree(env, path, tree.get(), &prefix, stats);
       },
       &retries);
   if (stats != nullptr) stats->read_retries += retries;
@@ -172,7 +173,7 @@ StatusOr<std::shared_ptr<const CountedTree>> TreeIndex::OpenSubTree(
     return Status::Corruption("sub-tree prefix mismatch for id " +
                               std::to_string(id));
   }
-  std::shared_ptr<const CountedTree> shared = std::move(tree);
+  std::shared_ptr<const ServedSubTree> shared = std::move(tree);
   const uint64_t bytes = shared->MemoryBytes();
 
   std::lock_guard<std::mutex> lock(shard.mutex);

@@ -4,10 +4,14 @@
 // TRELLIS) produces a TreeIndex, so validation, canonicalization and the
 // query engine are shared.
 //
-// The reading side serves sub-trees in the counted v2 layout through a
-// sharded, byte-budgeted LRU cache: lookups lock only their shard, loads run
-// outside any lock, and entries are handed out as shared_ptr so an eviction
-// never invalidates a tree an in-flight query is still walking.
+// The reading side serves sub-trees through a sharded, byte-budgeted LRU
+// cache of ServedSubTree values: v3 files stay in their compressed form (the
+// cache charges the packed size, which is what fits 2-4x more sub-trees in
+// the same budget), v1/v2 files load as counted trees. Lookups lock only
+// their shard, loads run outside any lock, and entries are handed out as
+// shared_ptr so an eviction never invalidates a tree an in-flight query is
+// still walking. Pattern-to-sub-tree routing goes through a flat k-mer
+// dispatch table built over the trie at Load time (Route()).
 
 #ifndef ERA_SUFFIXTREE_TREE_INDEX_H_
 #define ERA_SUFFIXTREE_TREE_INDEX_H_
@@ -25,6 +29,7 @@
 #include "io/env.h"
 #include "io/io_stats.h"
 #include "io/retry_policy.h"
+#include "suffixtree/compressed_tree.h"
 #include "suffixtree/tree_buffer.h"
 #include "suffixtree/trie.h"
 #include "text/corpus.h"
@@ -71,16 +76,26 @@ class TreeIndex {
   // ---- reading side ----
   static StatusOr<TreeIndex> Load(Env* env, const std::string& dir);
 
-  /// Reads (and caches) sub-tree `id` in the counted serving layout.
-  /// Thread-safe; cache hits/misses and eviction volume are billed to
-  /// `stats` when given. Concurrent misses on the same id may load the file
-  /// more than once; exactly one copy is retained. `ctx` (may be null) is
-  /// the caller's deadline/cancellation context: a cache hit always
-  /// succeeds, but a miss checks it before touching the device and its
-  /// retry backoffs never sleep past the deadline.
-  StatusOr<std::shared_ptr<const CountedTree>> OpenSubTree(
+  /// Reads (and caches) sub-tree `id` in its serving form (compressed for
+  /// v3 files, counted for v1/v2). Thread-safe; cache hits/misses and
+  /// eviction volume are billed to `stats` when given. Concurrent misses on
+  /// the same id may load the file more than once; exactly one copy is
+  /// retained. `ctx` (may be null) is the caller's deadline/cancellation
+  /// context: a cache hit always succeeds, but a miss checks it before
+  /// touching the device and its retry backoffs never sleep past the
+  /// deadline.
+  StatusOr<std::shared_ptr<const ServedSubTree>> OpenSubTree(
       Env* env, uint32_t id, IoStats* stats,
       const QueryContext* ctx = nullptr) const;
+
+  /// Routes `pattern` to its deepest trie node — one k-mer table probe in
+  /// the common case, a trie map walk otherwise. Equivalent to
+  /// trie().Descend(pattern).
+  PrefixTrie::DescendResult Route(const std::string& pattern) const {
+    return dispatch_.Route(trie_, pattern);
+  }
+
+  const KmerDispatchTable& dispatch() const { return dispatch_; }
 
   /// Replaces the cache with a fresh one using `options`. Call before
   /// serving traffic; NOT safe concurrently with OpenSubTree.
@@ -117,7 +132,7 @@ class TreeIndex {
     /// Most-recently-used at the front.
     std::list<uint32_t> lru;
     struct Entry {
-      std::shared_ptr<const CountedTree> tree;
+      std::shared_ptr<const ServedSubTree> tree;
       std::list<uint32_t>::iterator pos;
       uint64_t bytes = 0;
     };
@@ -143,6 +158,7 @@ class TreeIndex {
 
   TextInfo text_;
   PrefixTrie trie_;
+  KmerDispatchTable dispatch_;
   std::vector<SubTreeEntry> subtrees_;
   std::string dir_;
   mutable std::shared_ptr<Cache> cache_ =

@@ -17,6 +17,7 @@
 // from a bad device from an overloaded server.
 //   era_cli query  <index-dir> <pattern> [--limit N] [--deadline-ms N]
 //   era_cli stats  <index-dir>
+//   era_cli inspect <index-dir>           (per-sub-tree format/size/ratio)
 //   era_cli verify <index-dir>            (loads text + validates everything)
 //   era_cli generate <out-file> <dna|protein|english> <bytes> [seed]
 //   era_cli bench-query <index-dir> [--threads N] [--patterns N]
@@ -45,6 +46,7 @@
 #include "io/faulty_env.h"
 #include "query/query_engine.h"
 #include "query/query_workload.h"
+#include "suffixtree/serializer.h"
 #include "suffixtree/validator.h"
 #include "text/corpus.h"
 #include "text/text_generator.h"
@@ -60,13 +62,16 @@ int Usage() {
       "  era_cli build  <text-file> <index-dir> [--budget-mb N]\n"
       "                 [--alphabet dna|protein|english] [--threads N]\n"
       "                 [--algorithm era|wavefront] [--cache-budget MB]\n"
-      "                 [--no-tile-cache] [--resume] [--no-checkpoint]\n"
-      "                 [--faults SPEC]\n"
+      "                 [--format v2|v3] [--no-tile-cache] [--resume]\n"
+      "                 [--no-checkpoint] [--faults SPEC]\n"
+      "       (--format picks the sub-tree file format: v3 bit-packed\n"
+      "        (default) or v2 fixed 32-byte records)\n"
       "       (--resume skips groups an earlier killed build completed;\n"
       "        --faults injects deterministic failures, e.g.\n"
       "        read_transient=0.01,enospc_after=64MB,seed=7)\n"
       "  era_cli query  <index-dir> <pattern> [--limit N] [--deadline-ms N]\n"
       "  era_cli stats  <index-dir>\n"
+      "  era_cli inspect <index-dir>\n"
       "  era_cli verify <index-dir>\n"
       "  era_cli generate <out-file> <dna|protein|english> <bytes> [seed]\n"
       "  era_cli bench-query <index-dir> [--threads N] [--patterns N]\n"
@@ -209,6 +214,16 @@ int CmdBuild(const std::vector<std::string>& args) {
   options.env = env;
   options.resume = HasFlag(args, "--resume");
   options.checkpoint = !HasFlag(args, "--no-checkpoint");
+  const std::string format = FlagValue(args, "--format", "v3");
+  if (format == "v2") {
+    options.format = SubTreeFormat::kCounted;
+  } else if (format == "v3") {
+    options.format = SubTreeFormat::kPacked;
+  } else {
+    std::fprintf(stderr, "unknown --format: %s (expected v2 or v3)\n",
+                 format.c_str());
+    return Usage();
+  }
 
   BuildStats stats;
   Status build_status;
@@ -307,6 +322,54 @@ int CmdStats(const std::vector<std::string>& args) {
   }
   std::printf("largest sub-tree: %llu leaves\n",
               static_cast<unsigned long long>(max_freq));
+  return 0;
+}
+
+int CmdInspect(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Env* env = GetDefaultEnv();
+  auto index = TreeIndex::Load(env, args[0]);
+  if (!index.ok()) return Fail(index.status());
+
+  std::printf("%-6s %-4s %-9s %10s %12s %12s %12s %6s\n", "id", "fmt",
+              "prefix", "nodes", "disk_bytes", "serve_bytes", "v2_bytes",
+              "ratio");
+  uint64_t total_disk = 0;
+  uint64_t total_serving = 0;
+  uint64_t total_inflated = 0;
+  uint64_t total_nodes = 0;
+  for (uint32_t id = 0; id < index->subtrees().size(); ++id) {
+    const SubTreeEntry& entry = index->subtrees()[id];
+    auto info = InspectSubTreeFile(env, index->dir() + "/" + entry.filename);
+    if (!info.ok()) return Fail(info.status());
+    const double ratio =
+        info->serving_bytes == 0
+            ? 0.0
+            : static_cast<double>(info->inflated_bytes) / info->serving_bytes;
+    std::printf("%-6u v%-3u %-9s %10llu %12llu %12llu %12llu %5.2fx\n", id,
+                info->version, entry.prefix.c_str(),
+                static_cast<unsigned long long>(info->node_count),
+                static_cast<unsigned long long>(info->file_bytes),
+                static_cast<unsigned long long>(info->serving_bytes),
+                static_cast<unsigned long long>(info->inflated_bytes), ratio);
+    total_disk += info->file_bytes;
+    total_serving += info->serving_bytes;
+    total_inflated += info->inflated_bytes;
+    total_nodes += info->node_count;
+  }
+  const double total_ratio =
+      total_serving == 0
+          ? 0.0
+          : static_cast<double>(total_inflated) / total_serving;
+  std::printf(
+      "total: %zu sub-trees, %llu nodes, %llu disk bytes, %llu serving "
+      "bytes (%.2fx vs %llu inflated), %.2f bytes/node resident\n",
+      index->subtrees().size(), static_cast<unsigned long long>(total_nodes),
+      static_cast<unsigned long long>(total_disk),
+      static_cast<unsigned long long>(total_serving), total_ratio,
+      static_cast<unsigned long long>(total_inflated),
+      total_nodes == 0 ? 0.0
+                       : static_cast<double>(total_serving) / total_nodes);
   return 0;
 }
 
@@ -564,6 +627,7 @@ int main(int argc, char** argv) {
   if (command == "build") return era::CmdBuild(args);
   if (command == "query") return era::CmdQuery(args);
   if (command == "stats") return era::CmdStats(args);
+  if (command == "inspect") return era::CmdInspect(args);
   if (command == "verify") return era::CmdVerify(args);
   if (command == "generate") return era::CmdGenerate(args);
   if (command == "bench-query") return era::CmdBenchQuery(args);

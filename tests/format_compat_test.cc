@@ -1,6 +1,7 @@
-// Format v1/v2 compatibility: every builder's output round-trips through the
-// v2 serving layout, and a v1-file mirror of the same index answers queries
-// byte-identically.
+// Format compatibility across v1/v2/v3: every builder emits the configured
+// format (bit-packed v3 by default, counted v2 on request), both serve
+// queries byte-identically, and legacy v1 mirrors still read and answer the
+// same.
 
 #include <gtest/gtest.h>
 
@@ -113,36 +114,72 @@ StatusOr<BuildResult> BuildWith(int which, const BuildOptions& options,
   }
 }
 
-TEST_P(BuilderFormatTest, EmitsV2AndMatchesV1Mirror) {
+TEST_P(BuilderFormatTest, EmitsConfiguredFormatAndAllVersionsAnswerAlike) {
   MemEnv env;
   std::string text = testing::RepetitiveText(Alphabet::Dna(), 4000, 99);
   auto info = MaterializeText(&env, "/text", Alphabet::Dna(), text);
   ASSERT_TRUE(info.ok());
 
-  auto result = BuildWith(GetParam().second,
-                          SmallBuildOptions(&env, "/idx"), *info);
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  const TreeIndex& index = result->index;
-  ASSERT_GT(index.subtrees().size(), 1u);
+  // Default build: bit-packed v3 files.
+  auto result_v3 = BuildWith(GetParam().second,
+                             SmallBuildOptions(&env, "/idx_v3"), *info);
+  ASSERT_TRUE(result_v3.ok()) << result_v3.status().ToString();
+  const TreeIndex& index_v3 = result_v3->index;
+  ASSERT_GT(index_v3.subtrees().size(), 1u);
 
-  // Every emitted file is format v2 and validates in the counted layout.
-  for (const SubTreeEntry& entry : index.subtrees()) {
-    EXPECT_EQ(FileVersion(&env, index.dir() + "/" + entry.filename), 2u);
+  // Same build with --format v2 semantics: counted files.
+  BuildOptions v2_options = SmallBuildOptions(&env, "/idx_v2");
+  v2_options.format = SubTreeFormat::kCounted;
+  auto result_v2 = BuildWith(GetParam().second, v2_options, *info);
+  ASSERT_TRUE(result_v2.ok()) << result_v2.status().ToString();
+  const TreeIndex& index_v2 = result_v2->index;
+  ASSERT_EQ(index_v2.subtrees().size(), index_v3.subtrees().size());
+
+  // Every emitted file carries the configured version, validates, and the
+  // v3 serving form stays compressed with the identical canonical shape as
+  // its v2 twin.
+  for (std::size_t i = 0; i < index_v3.subtrees().size(); ++i) {
+    const SubTreeEntry& entry = index_v3.subtrees()[i];
+    const SubTreeEntry& entry_v2 = index_v2.subtrees()[i];
+    EXPECT_EQ(entry.prefix, entry_v2.prefix);
+    EXPECT_EQ(FileVersion(&env, index_v3.dir() + "/" + entry.filename), 3u);
+    EXPECT_EQ(
+        FileVersion(&env, index_v2.dir() + "/" + entry_v2.filename), 2u);
+
     CountedTree counted;
     std::string prefix;
-    ASSERT_TRUE(ReadCountedSubTree(&env, index.dir() + "/" + entry.filename,
+    ASSERT_TRUE(ReadCountedSubTree(&env, index_v3.dir() + "/" + entry.filename,
                                    &counted, &prefix, nullptr)
                     .ok());
     EXPECT_EQ(prefix, entry.prefix);
     EXPECT_EQ(counted.LeafCount(), entry.frequency);
     EXPECT_TRUE(ValidateSubTree(counted, text, entry.prefix).ok());
+
+    ServedSubTree served;
+    ASSERT_TRUE(ReadServedSubTree(&env, index_v3.dir() + "/" + entry.filename,
+                                  &served, nullptr, nullptr)
+                    .ok());
+    EXPECT_TRUE(served.compressed());
+    // The packed serving form must be smaller than the counted records it
+    // replaces (the cache-density win the format exists for).
+    EXPECT_LT(served.MemoryBytes(), counted.MemoryBytes());
+
+    CountedTree counted_v2;
+    ASSERT_TRUE(
+        ReadCountedSubTree(&env, index_v2.dir() + "/" + entry_v2.filename,
+                           &counted_v2, nullptr, nullptr)
+            .ok());
+    EXPECT_EQ(TreeToSaLcp(served), TreeToSaLcp(counted_v2));
   }
 
-  MirrorIndexAsV1(&env, index, "/idx_v1");
-  auto v2 = QueryEngine::Open(&env, "/idx");
+  MirrorIndexAsV1(&env, index_v2, "/idx_v1");
+  auto v3 = QueryEngine::Open(&env, "/idx_v3");
+  auto v2 = QueryEngine::Open(&env, "/idx_v2");
   auto v1 = QueryEngine::Open(&env, "/idx_v1");
+  ASSERT_TRUE(v3.ok()) << v3.status().ToString();
   ASSERT_TRUE(v2.ok()) << v2.status().ToString();
   ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  ExpectIdenticalAnswers(v3->get(), v2->get(), text);
   ExpectIdenticalAnswers(v2->get(), v1->get(), text);
 }
 

@@ -1,0 +1,119 @@
+// KmerDispatchTable: the flat top-layer routing table must agree with
+// PrefixTrie::Descend on every input — random patterns, short patterns,
+// uncoded symbols, and walks that continue past the table's depth.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "suffixtree/trie.h"
+
+namespace era {
+namespace {
+
+PrefixTrie UnevenTrie() {
+  // Variable-depth prefixes, like a real frequency-based partition: some
+  // sub-trees hang at depth 1, some at depth 3.
+  PrefixTrie trie;
+  EXPECT_TRUE(trie.InsertSubTree("A", 0, 10).ok());
+  EXPECT_TRUE(trie.InsertSubTree("CA", 1, 4).ok());
+  EXPECT_TRUE(trie.InsertSubTree("CC", 2, 4).ok());
+  EXPECT_TRUE(trie.InsertSubTree("CGT", 3, 2).ok());
+  EXPECT_TRUE(trie.InsertSubTree("G", 4, 9).ok());
+  EXPECT_TRUE(trie.InsertSubTree("TTT", 5, 1).ok());
+  EXPECT_TRUE(trie.InsertTerminalLeaf("T", 100).ok());
+  return trie;
+}
+
+void ExpectSameRouting(const PrefixTrie& trie, const KmerDispatchTable& table,
+                       const std::string& pattern) {
+  const PrefixTrie::DescendResult direct = trie.Descend(pattern);
+  const PrefixTrie::DescendResult routed = table.Route(trie, pattern);
+  EXPECT_EQ(routed.node, direct.node) << "pattern: " << pattern;
+  EXPECT_EQ(routed.matched, direct.matched) << "pattern: " << pattern;
+  EXPECT_EQ(routed.pattern_exhausted, direct.pattern_exhausted)
+      << "pattern: " << pattern;
+}
+
+TEST(KmerDispatchTableTest, MatchesDescendOnExhaustiveShortPatterns) {
+  PrefixTrie trie = UnevenTrie();
+  KmerDispatchTable table;
+  table.Build(trie, "ACGT");
+  ASSERT_TRUE(table.enabled());
+  EXPECT_EQ(table.k(), 3u);  // deepest prefix is 3; 4^3 fits far under cap
+  EXPECT_EQ(table.slot_count(), 64u);
+
+  // Every pattern over the alphabet up to length 5, plus the empty pattern.
+  std::vector<std::string> patterns = {""};
+  const std::string symbols = "ACGT";
+  for (std::size_t start = 0, len = 1; len <= 5; ++len) {
+    std::vector<std::string> next;
+    for (const std::string& p :
+         std::vector<std::string>(patterns.begin() + start, patterns.end())) {
+      if (p.size() != len - 1) continue;
+      for (char c : symbols) next.push_back(p + c);
+    }
+    start = patterns.size();
+    patterns.insert(patterns.end(), next.begin(), next.end());
+  }
+  for (const std::string& p : patterns) ExpectSameRouting(trie, table, p);
+}
+
+TEST(KmerDispatchTableTest, MatchesDescendOnRandomAndUncodedPatterns) {
+  PrefixTrie trie = UnevenTrie();
+  KmerDispatchTable table;
+  table.Build(trie, "ACGT");
+
+  std::mt19937_64 rng(7);
+  const std::string symbols = "ACGT~X";  // ~ and X are not in the table code
+  for (int i = 0; i < 2000; ++i) {
+    std::string pattern;
+    const std::size_t len = rng() % 12;
+    for (std::size_t j = 0; j < len; ++j) {
+      pattern.push_back(symbols[rng() % symbols.size()]);
+    }
+    ExpectSameRouting(trie, table, pattern);
+  }
+}
+
+TEST(KmerDispatchTableTest, DeepTrieContinuesWalkPastTableDepth) {
+  // A trie deeper than the slot cap allows: k is clamped and Route finishes
+  // the walk through the map nodes.
+  PrefixTrie trie;
+  std::string deep(12, 'A');
+  ASSERT_TRUE(trie.InsertSubTree(deep, 0, 1).ok());
+  ASSERT_TRUE(trie.InsertSubTree("C", 1, 5).ok());
+  KmerDispatchTable table;
+  table.Build(trie, "ACGT");
+  ASSERT_TRUE(table.enabled());
+  EXPECT_LT(table.k(), 12u);  // 4^12 > kMaxSlots forces a clamp
+  EXPECT_LE(table.slot_count(), KmerDispatchTable::kMaxSlots);
+
+  for (std::size_t len = 0; len <= 14; ++len) {
+    ExpectSameRouting(trie, table, std::string(len, 'A'));
+  }
+  ExpectSameRouting(trie, table, std::string(8, 'A') + "C");
+  ExpectSameRouting(trie, table, "C" + std::string(8, 'A'));
+}
+
+TEST(KmerDispatchTableTest, DisabledFallbacksStillRoute) {
+  // Depth-0 trie (no partitions): table disables itself, Route must still
+  // behave exactly like Descend.
+  PrefixTrie empty;
+  KmerDispatchTable table;
+  table.Build(empty, "ACGT");
+  EXPECT_FALSE(table.enabled());
+  ExpectSameRouting(empty, table, "ACG");
+  ExpectSameRouting(empty, table, "");
+
+  PrefixTrie trie = UnevenTrie();
+  KmerDispatchTable no_alphabet;
+  no_alphabet.Build(trie, "");
+  EXPECT_FALSE(no_alphabet.enabled());
+  ExpectSameRouting(trie, no_alphabet, "CGT");
+}
+
+}  // namespace
+}  // namespace era

@@ -116,6 +116,43 @@ TEST_F(QueryEngineTest, LimitReturnsTheSmallestOffsets) {
   }
 }
 
+TEST_F(QueryEngineTest, ArbitraryOrderStopsEnumeratingAtTheLimit) {
+  // LocateOrder::kArbitrary is the bounded-enumeration contract: the engine
+  // may stop decoding leaf slots as soon as `limit` are in hand. The
+  // regression pin is on leaves_enumerated — a decode-everything-then-trim
+  // implementation would satisfy the result check but light this up.
+  const std::string pattern = text_.substr(100, 4);
+  auto full = engine_->Locate(pattern);
+  ASSERT_TRUE(full.ok());
+  ASSERT_GT(full->size(), 8u);
+
+  for (std::size_t limit : {1u, 3u, 8u}) {
+    const uint64_t before = engine_->stats().leaves_enumerated;
+    auto limited = engine_->Locate(pattern, limit, LocateOrder::kArbitrary);
+    ASSERT_TRUE(limited.ok());
+    EXPECT_EQ(limited->size(), limit);
+    // Arbitrary subset, but still sorted and still real occurrences.
+    for (std::size_t i = 0; i + 1 < limited->size(); ++i) {
+      EXPECT_LT((*limited)[i], (*limited)[i + 1]);
+    }
+    for (uint64_t hit : *limited) {
+      EXPECT_NE(std::find(full->begin(), full->end(), hit), full->end());
+    }
+    // The pin: exactly `limit` slots were decoded, not the full match set.
+    EXPECT_EQ(engine_->stats().leaves_enumerated - before, limit)
+        << "limit: " << limit;
+  }
+
+  // kSmallest with the same limit must keep enumerating everything (that is
+  // what buys the "smallest offsets" guarantee).
+  const uint64_t before = engine_->stats().leaves_enumerated;
+  auto smallest = engine_->Locate(pattern, 3);
+  ASSERT_TRUE(smallest.ok());
+  std::vector<uint64_t> expected(full->begin(), full->begin() + 3);
+  EXPECT_EQ(*smallest, expected);
+  EXPECT_EQ(engine_->stats().leaves_enumerated - before, full->size());
+}
+
 TEST_F(QueryEngineTest, CountNeverEnumeratesLeaves) {
   // Patterns long enough to leave the trie and land in a sub-tree with many
   // occurrences below the match node.

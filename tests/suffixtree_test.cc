@@ -227,12 +227,16 @@ TEST(TreeIndexCacheTest, LruEvictsWithinBudgetAndPinsInFlight) {
   index.SetText(info);
   auto tree = BuildUkkonenTree(text);
   ASSERT_TRUE(tree.ok());
-  const uint64_t tree_bytes = BuildCountedTree(*tree)->MemoryBytes();
   for (int i = 0; i < 8; ++i) {
     std::string name = "st_" + std::to_string(i);
     ASSERT_TRUE(WriteSubTree(&env, "/" + name, "A", *tree, nullptr).ok());
     index.AddSubTree("A", CountLeaves(*tree), name);
   }
+  // The budget math must use the actual serving charge (the packed blob for
+  // the default v3 format), not the inflated counted size.
+  ServedSubTree served;
+  ASSERT_TRUE(ReadServedSubTree(&env, "/st_0", &served, nullptr, nullptr).ok());
+  const uint64_t tree_bytes = served.MemoryBytes();
 
   // Single shard with room for ~2 trees: opening 8 distinct ids must evict.
   TreeCacheOptions options;
@@ -241,7 +245,7 @@ TEST(TreeIndexCacheTest, LruEvictsWithinBudgetAndPinsInFlight) {
   index.ConfigureCache(options);
 
   IoStats stats;
-  std::shared_ptr<const CountedTree> pinned;
+  std::shared_ptr<const ServedSubTree> pinned;
   for (uint32_t id = 0; id < 8; ++id) {
     auto opened = index.OpenSubTree(&env, id, &stats);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
