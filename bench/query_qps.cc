@@ -220,6 +220,53 @@ int Main(int argc, char** argv) {
     }
   }
   const FormatInfo& v3 = formats[1];
+
+  // ---- Registry overhead guard: serving with the metrics registry on the
+  // Count hot path must stay within 2% of the registry-free path (v3 at 8
+  // threads, best of 3 per arm so scheduler noise cannot fail the build on
+  // a single bad run). Runs before the format-comparison guards so the
+  // overhead figure is reported even when those trip on a loaded machine. ----
+  auto best_qps = [&](bool metrics_on, double* qps) -> bool {
+    *qps = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      QueryEngineOptions arm_options = engine_options;
+      arm_options.metrics_enabled = metrics_on;
+      auto engine = QueryEngine::Open(&env, v3.dir, arm_options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "open failed: %s\n",
+                     engine.status().ToString().c_str());
+        return false;
+      }
+      auto replay =
+          ReplayWorkload(engine->get(), patterns, 8, workload_options);
+      if (!replay.ok()) {
+        std::fprintf(stderr, "replay failed: %s\n",
+                     replay.status().ToString().c_str());
+        return false;
+      }
+      *qps = std::max(*qps, replay->qps);
+    }
+    return true;
+  };
+  double qps_metrics_off = 0;
+  double qps_metrics_on = 0;
+  if (!best_qps(false, &qps_metrics_off) || !best_qps(true, &qps_metrics_on)) {
+    return 1;
+  }
+  const double overhead_ratio =
+      qps_metrics_off > 0 ? qps_metrics_on / qps_metrics_off : 0;
+  std::fprintf(stderr,
+               "registry overhead (v3, 8 threads, best of 3): "
+               "metrics_on=%.0f qps vs metrics_off=%.0f qps (ratio %.3f)\n",
+               qps_metrics_on, qps_metrics_off, overhead_ratio);
+  if (overhead_ratio < 0.98) {
+    std::fprintf(stderr,
+                 "FATAL: metrics registry costs more than 2%% QPS "
+                 "(ratio %.3f < 0.98)\n",
+                 overhead_ratio);
+    return 1;
+  }
+
   if (v3.compression_ratio < 2.0) {
     std::fprintf(stderr, "FATAL: v3 compression ratio %.2fx < 2x\n",
                  v3.compression_ratio);
@@ -286,6 +333,11 @@ int Main(int argc, char** argv) {
                  i + 1 < formats.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"registry_overhead\": {\"config\": \"v3 8 threads, best "
+               "of 3\", \"qps_metrics_off\": %.1f, \"qps_metrics_on\": %.1f, "
+               "\"ratio\": %.4f},\n",
+               qps_metrics_off, qps_metrics_on, overhead_ratio);
   std::fprintf(out, "  \"runs\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -300,7 +352,9 @@ int Main(int argc, char** argv) {
         "\"cache_evicted_bytes\": %llu, \"cache_resident_bytes\": %llu, "
         "\"resident_subtrees\": %llu, \"bytes_per_node\": %.2f, "
         "\"nodes_visited\": %llu, \"leaves_enumerated\": %llu, "
-        "\"trie_resolved_counts\": %llu, \"occurrence_checksum\": %llu}%s\n",
+        "\"trie_resolved_counts\": %llu, \"p50_ms\": %.3f, "
+        "\"p90_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"occurrence_checksum\": %llu}%s\n",
         r.format->name.c_str(), r.threads, r.replay.qps,
         r.replay.wall_seconds, r.speedup,
         static_cast<unsigned long long>(r.replay.queries),
@@ -316,6 +370,7 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stats.nodes_visited),
         static_cast<unsigned long long>(r.stats.leaves_enumerated),
         static_cast<unsigned long long>(r.stats.trie_resolved_counts),
+        r.replay.p50_ms, r.replay.p90_ms, r.replay.p99_ms,
         static_cast<unsigned long long>(r.replay.occurrence_checksum),
         i + 1 < rows.size() ? "," : "");
   }

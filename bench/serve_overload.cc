@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "common/metrics.h"
 #include "common/options.h"
 #include "common/query_context.h"
 #include "era/era_builder.h"
@@ -142,16 +143,9 @@ struct LoadResult {
   double elapsed_seconds = 0;
   double goodput_qps = 0;
   double p50_ms = 0;
+  double p90_ms = 0;
   double p99_ms = 0;
 };
-
-double Percentile(std::vector<double>* values, double p) {
-  if (values->empty()) return 0;
-  std::sort(values->begin(), values->end());
-  const std::size_t i = static_cast<std::size_t>(
-      p * static_cast<double>(values->size() - 1) + 0.5);
-  return (*values)[std::min(i, values->size() - 1)];
-}
 
 /// Open-loop run: `runners` threads drain a shared arrival schedule at
 /// `rate` arrivals/second for ~`seconds`. Query j's deadline starts at its
@@ -167,7 +161,10 @@ LoadResult OpenLoopRun(QueryEngine* engine,
 
   std::atomic<uint64_t> next{0};
   std::mutex mu;  // guards the per-run aggregates below
-  std::vector<double> sojourns_ms;
+  // Sojourn latencies go through the shared histogram type (lock-free
+  // Observe from every runner) instead of a private sorted array; the
+  // percentiles below come from its interpolated quantiles.
+  Histogram sojourn_seconds;
   const auto start = Clock::now();
   const auto deadline_budget = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(deadline_seconds));
@@ -178,7 +175,6 @@ LoadResult OpenLoopRun(QueryEngine* engine,
     workers.emplace_back([&, t] {
       uint64_t ok = 0, correct_on_time = 0, late_or_wrong = 0, shed = 0;
       uint64_t expired = 0, other = 0;
-      std::vector<double> local_sojourns_ms;
       for (;;) {
         const uint64_t j = next.fetch_add(1);
         const auto scheduled =
@@ -202,9 +198,8 @@ LoadResult OpenLoopRun(QueryEngine* engine,
           const bool correct = checksum == reference[j % reference.size()];
           if (on_time && correct) {
             ++correct_on_time;
-            local_sojourns_ms.push_back(
-                std::chrono::duration<double>(done - scheduled).count() *
-                1000.0);
+            sojourn_seconds.Observe(
+                std::chrono::duration<double>(done - scheduled).count());
           } else {
             ++late_or_wrong;
           }
@@ -223,8 +218,6 @@ LoadResult OpenLoopRun(QueryEngine* engine,
       result.shed += shed;
       result.deadline_exceeded += expired;
       result.other_errors += other;
-      sojourns_ms.insert(sojourns_ms.end(), local_sojourns_ms.begin(),
-                         local_sojourns_ms.end());
     });
   }
   for (std::thread& w : workers) w.join();
@@ -237,8 +230,12 @@ LoadResult OpenLoopRun(QueryEngine* engine,
                            ? static_cast<double>(result.correct_on_time) /
                                  result.elapsed_seconds
                            : 0;
-  result.p50_ms = Percentile(&sojourns_ms, 0.50);
-  result.p99_ms = Percentile(&sojourns_ms, 0.99);
+  const HistogramSnapshot sojourn = sojourn_seconds.snapshot();
+  if (sojourn.count > 0) {
+    result.p50_ms = sojourn.Quantile(0.50) * 1000.0;
+    result.p90_ms = sojourn.Quantile(0.90) * 1000.0;
+    result.p99_ms = sojourn.Quantile(0.99) * 1000.0;
+  }
   return result;
 }
 
@@ -571,7 +568,8 @@ int Main(int argc, char** argv) {
         "\"admission\": %s, \"offered\": %llu, \"ok\": %llu, "
         "\"goodput_qps\": %.1f, \"goodput\": %llu, \"shed\": %llu, "
         "\"deadline_exceeded\": %llu, \"late_or_wrong\": %llu, "
-        "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"elapsed_seconds\": %.2f}%s\n",
+        "\"p50_ms\": %.2f, \"p99_ms\": %.2f, \"p90_ms\": %.2f, "
+        "\"elapsed_seconds\": %.2f}%s\n",
         r.offered_qps / capacity_qps, r.offered_qps,
         r.admission ? "true" : "false",
         static_cast<unsigned long long>(r.offered),
@@ -580,7 +578,7 @@ int Main(int argc, char** argv) {
         static_cast<unsigned long long>(r.shed),
         static_cast<unsigned long long>(r.deadline_exceeded),
         static_cast<unsigned long long>(r.late_or_wrong), r.p50_ms, r.p99_ms,
-        r.elapsed_seconds, i + 1 < rows.size() ? "," : "");
+        r.p90_ms, r.elapsed_seconds, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
   std::fprintf(out,

@@ -168,6 +168,15 @@ class DocEngine {
 
   mutable std::mutex mu_;
   DocQueryStats stats_;
+
+  /// Exporter wiring: a registry collector translating stats_ into
+  /// era_doc_* samples (registered by Open when the underlying engine has
+  /// metrics enabled; see doc_engine.cc).
+  MetricsRegistry* registry_ = nullptr;
+  uint64_t collector_id_ = 0;
+
+ public:
+  ~DocEngine();
 };
 
 /// Sorts a document histogram into TopK order (occurrences descending, doc

@@ -1,0 +1,681 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace era {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Minimal-surprise number formatting shared by both exporters: integers
+/// print without a fractional part (counters stay grep-able), everything
+/// else gets enough digits to round-trip.
+std::string FormatValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(value)) return "NaN";
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON numbers may not be Inf/NaN; clamp to null per common practice.
+std::string JsonNumber(double value) {
+  if (std::isinf(value) || std::isnan(value)) return "null";
+  return FormatValue(value);
+}
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+unsigned Counter::ShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+uint64_t Gauge::Pack(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Unpack(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void Gauge::Add(double delta) {
+  uint64_t observed = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(observed, Pack(Unpack(observed) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+std::vector<double> Histogram::LogBuckets(double min, double max,
+                                          double factor) {
+  std::vector<double> bounds;
+  for (double b = min; b < max * (1 + 1e-12); b *= factor) {
+    bounds.push_back(b);
+  }
+  bounds.push_back(kInf);
+  return bounds;
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return LogBuckets(1e-6, 16.0, 2.0);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBounds();
+  if (bounds_.back() != kInf) bounds_.push_back(kInf);
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::BucketFor(double value) const {
+  // First bound >= value: upper-INCLUSIVE assignment (value == bound lands
+  // in that bucket), matching Prometheus `le` and the admission layer's
+  // original queue-wait histogram.
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it == bounds_.end()) return bounds_.size() - 1;  // only if value == +inf
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::Observe(double value) {
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  double updated;
+  uint64_t updated_bits;
+  do {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    updated = current + value;
+    std::memcpy(&updated_bits, &updated, sizeof(updated_bits));
+  } while (!sum_bits_.compare_exchange_weak(observed, updated_bits,
+                                            std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  std::memcpy(&snap.sum, &bits, sizeof(snap.sum));
+  return snap;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Target rank in [1, count]; walk the cumulative distribution to the
+  // bucket holding it, then interpolate linearly inside that bucket.
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = i > 0 ? bounds[i - 1] : 0;
+    const double hi = bounds[i];
+    if (std::isinf(hi)) {
+      // No upper edge to interpolate against: clamp to the largest finite
+      // bound (the standard Prometheus behavior).
+      return bounds.size() >= 2 ? bounds[bounds.size() - 2] : lo;
+    }
+    const double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * fraction;
+  }
+  return bounds.size() >= 2 ? bounds[bounds.size() - 2] : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindOrCreateSeries(
+    const std::string& name, const std::string& help, MetricKind kind,
+    const MetricLabels& labels) {
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help;
+  } else if (family.kind != kind) {
+    // Kind clash is a programming error; refuse to cross-wire instruments.
+    return nullptr;
+  }
+  for (Series& series : family.series) {
+    if (series.labels == labels) return &series;
+  }
+  family.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  return &family.series.back();
+}
+
+std::shared_ptr<Counter> MetricsRegistry::GetCounter(
+    const std::string& name, const std::string& help,
+    const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      FindOrCreateSeries(name, help, MetricKind::kCounter, labels);
+  if (series == nullptr) {
+    ERA_LOG(Warn) << "metric kind clash for " << name
+                  << "; returning detached counter";
+    return std::make_shared<Counter>();
+  }
+  if (series->counter == nullptr) series->counter = std::make_shared<Counter>();
+  return series->counter;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::GetGauge(const std::string& name,
+                                                 const std::string& help,
+                                                 const MetricLabels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series = FindOrCreateSeries(name, help, MetricKind::kGauge, labels);
+  if (series == nullptr) {
+    ERA_LOG(Warn) << "metric kind clash for " << name
+                  << "; returning detached gauge";
+    return std::make_shared<Gauge>();
+  }
+  if (series->gauge == nullptr) series->gauge = std::make_shared<Gauge>();
+  return series->gauge;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::GetHistogram(
+    const std::string& name, const std::string& help,
+    const MetricLabels& labels, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series* series =
+      FindOrCreateSeries(name, help, MetricKind::kHistogram, labels);
+  if (series == nullptr) {
+    ERA_LOG(Warn) << "metric kind clash for " << name
+                  << "; returning detached histogram";
+    return std::make_shared<Histogram>(std::move(bounds));
+  }
+  if (series->histogram == nullptr) {
+    series->histogram = std::make_shared<Histogram>(std::move(bounds));
+  }
+  return series->histogram;
+}
+
+uint64_t MetricsRegistry::AddCollector(Collector collector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_collector_id_++;
+  collectors_[id] = std::move(collector);
+  return id;
+}
+
+void MetricsRegistry::RemoveCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  // Copy the shape under the lock, read instrument values outside it (the
+  // instruments are lock-free and shared_ptr keeps them alive), and run the
+  // collectors outside it too — a collector is free to look at mutex-guarded
+  // engine state that may itself touch the registry.
+  struct PendingSeries {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    MetricLabels labels;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+  std::vector<PendingSeries> pending;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, family] : families_) {
+      for (const Series& series : family.series) {
+        pending.push_back({name, family.help, family.kind, series.labels,
+                           series.counter, series.gauge, series.histogram});
+      }
+    }
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, collector] : collectors_) {
+      collectors.push_back(collector);
+    }
+  }
+  std::vector<MetricSample> samples;
+  samples.reserve(pending.size());
+  for (const PendingSeries& series : pending) {
+    MetricSample sample;
+    sample.name = series.name;
+    sample.help = series.help;
+    sample.kind = series.kind;
+    sample.labels = series.labels;
+    switch (series.kind) {
+      case MetricKind::kCounter:
+        if (series.counter == nullptr) continue;
+        sample.value = static_cast<double>(series.counter->Value());
+        break;
+      case MetricKind::kGauge:
+        if (series.gauge == nullptr) continue;
+        sample.value = series.gauge->Value();
+        break;
+      case MetricKind::kHistogram:
+        if (series.histogram == nullptr) continue;
+        sample.hist = series.histogram->snapshot();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  for (const Collector& collector : collectors) {
+    collector(&samples);
+  }
+  return samples;
+}
+
+std::string RenderLabels(const MetricLabels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+namespace {
+
+/// Series line `name{labels} value` (labels optionally extended with an
+/// extra `le` pair for histogram buckets).
+void AppendSeriesLine(std::string* out, const std::string& name,
+                      const MetricLabels& labels, const char* extra_key,
+                      const std::string& extra_value, double value) {
+  *out += name;
+  MetricLabels all = labels;
+  if (extra_key != nullptr) all.emplace_back(extra_key, extra_value);
+  if (!all.empty()) {
+    *out += '{';
+    *out += RenderLabels(all);
+    *out += '}';
+  }
+  *out += ' ';
+  *out += FormatValue(value);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  // Group by family: Prometheus requires all series of a metric name to sit
+  // under a single HELP/TYPE header, and collector samples may interleave
+  // with registered ones.
+  std::map<std::string, std::vector<const MetricSample*>> by_name;
+  for (const MetricSample& sample : samples) {
+    by_name[sample.name].push_back(&sample);
+  }
+  std::string out;
+  for (const auto& [name, group] : by_name) {
+    const MetricSample& head = *group.front();
+    out += "# HELP " + name + " " +
+           (head.help.empty() ? std::string("(no help)") : head.help) + "\n";
+    out += "# TYPE " + name + " " + KindName(head.kind) + "\n";
+    for (const MetricSample* sample : group) {
+      if (sample->kind == MetricKind::kHistogram) {
+        uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < sample->hist.bounds.size(); ++i) {
+          cumulative += sample->hist.counts[i];
+          AppendSeriesLine(&out, name + "_bucket", sample->labels, "le",
+                           FormatValue(sample->hist.bounds[i]),
+                           static_cast<double>(cumulative));
+        }
+        AppendSeriesLine(&out, name + "_sum", sample->labels, nullptr, "",
+                         sample->hist.sum);
+        AppendSeriesLine(&out, name + "_count", sample->labels, nullptr, "",
+                         static_cast<double>(sample->hist.count));
+      } else {
+        AppendSeriesLine(&out, name, sample->labels, nullptr, "",
+                         sample->value);
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& sample : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(sample.name) + "\"";
+    out += ",\"kind\":\"";
+    out += KindName(sample.kind);
+    out += "\"";
+    out += ",\"labels\":{";
+    for (std::size_t i = 0; i < sample.labels.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "\"" + JsonEscape(sample.labels[i].first) + "\":\"" +
+             JsonEscape(sample.labels[i].second) + "\"";
+    }
+    out += "}";
+    if (sample.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + JsonNumber(static_cast<double>(sample.hist.count));
+      out += ",\"sum\":" + JsonNumber(sample.hist.sum);
+      out += ",\"p50\":" + JsonNumber(sample.hist.Quantile(0.50));
+      out += ",\"p90\":" + JsonNumber(sample.hist.Quantile(0.90));
+      out += ",\"p99\":" + JsonNumber(sample.hist.Quantile(0.99));
+      out += ",\"buckets\":[";
+      for (std::size_t i = 0; i < sample.hist.bounds.size(); ++i) {
+        if (i > 0) out += ',';
+        out += "{\"le\":" + JsonNumber(sample.hist.bounds[i]) +
+               ",\"count\":" +
+               JsonNumber(static_cast<double>(sample.hist.counts[i])) + "}";
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + JsonNumber(sample.value);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(const TraceRecorderOptions& options)
+    : options_(options) {}
+
+std::shared_ptr<Trace> TraceRecorder::StartTrace(std::string label,
+                                                 uint64_t client_id) {
+  auto trace = std::make_shared<Trace>();
+  trace->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  trace->client_id = client_id;
+  trace->label = std::move(label);
+  trace->start_time = std::chrono::steady_clock::now();
+  trace->max_spans = options_.max_spans_per_trace;
+  started_.fetch_add(1, std::memory_order_relaxed);
+  return trace;
+}
+
+void TraceRecorder::FinishTrace(const std::shared_ptr<Trace>& trace,
+                                const Status& status) {
+  if (trace == nullptr) return;
+  trace->total_us = trace->NowUs();
+  trace->status = status.ok() ? "OK" : status.ToString();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  const bool slow = options_.slow_query_seconds > 0 &&
+                    trace->total_us >= options_.slow_query_seconds * 1e6;
+  if (slow) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.log_slow) {
+      ERA_LOG(Warn) << "slow query: " << trace->label << " trace=" << trace->id
+                    << " client=" << trace->client_id << " took "
+                    << trace->total_us / 1000.0 << " ms ("
+                    << trace->spans.size() << " spans, status "
+                    << trace->status << ")";
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(trace);
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  if (slow) {
+    slow_ring_.push_back(trace);
+    while (slow_ring_.size() > options_.slow_ring_capacity) {
+      slow_ring_.pop_front();
+    }
+  }
+}
+
+std::vector<std::shared_ptr<const Trace>> TraceRecorder::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<std::shared_ptr<const Trace>> TraceRecorder::Slow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {slow_ring_.begin(), slow_ring_.end()};
+}
+
+std::string TraceRecorder::ExportChromeTracing() const {
+  const auto traces = Recent();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto event = [&](const std::string& name, uint64_t tid, double ts_us,
+                   double dur_us, const std::string& args_json) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(name) + "\",\"ph\":\"X\",\"pid\":1";
+    out += ",\"tid\":" + FormatValue(static_cast<double>(tid));
+    out += ",\"ts\":" + JsonNumber(ts_us);
+    out += ",\"dur\":" + JsonNumber(dur_us);
+    if (!args_json.empty()) out += ",\"args\":{" + args_json + "}";
+    out += "}";
+  };
+  for (const auto& trace : traces) {
+    // Root event: the whole request. Each trace gets its own track so
+    // concurrent requests never interleave visually.
+    event(trace->label, trace->id, 0, trace->total_us,
+          "\"client\":" + FormatValue(static_cast<double>(trace->client_id)) +
+              ",\"status\":\"" + JsonEscape(trace->status) +
+              "\",\"dropped_spans\":" +
+              FormatValue(static_cast<double>(trace->dropped_spans)));
+    for (const TraceSpanRecord& span : trace->spans) {
+      std::string args = "\"depth\":" + FormatValue(span.depth);
+      if (span.note != nullptr) {
+        args += ",\"note\":\"" + JsonEscape(span.note) + "\"";
+      }
+      event(span.name, trace->id, span.start_us, span.dur_us, args);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiling
+// ---------------------------------------------------------------------------
+
+void PhaseProfiler::Record(const std::string& phase, unsigned worker,
+                           double seconds, uint64_t calls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : entries_) {
+    if (entry.phase == phase && entry.worker == worker) {
+      entry.seconds += seconds;
+      entry.calls += calls;
+      return;
+    }
+  }
+  entries_.push_back(Entry{phase, worker, seconds, calls});
+}
+
+void PhaseProfiler::Merge(const std::vector<Entry>& entries) {
+  for (const Entry& entry : entries) {
+    Record(entry.phase, entry.worker, entry.seconds, entry.calls);
+  }
+}
+
+std::vector<PhaseProfiler::Entry> PhaseProfiler::Entries() const {
+  std::vector<Entry> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = entries_;
+  }
+  // Stable sort keeps first-recorded phase order; workers ascend within a
+  // phase.
+  std::vector<std::string> phase_order;
+  for (const Entry& entry : out) {
+    if (std::find(phase_order.begin(), phase_order.end(), entry.phase) ==
+        phase_order.end()) {
+      phase_order.push_back(entry.phase);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const Entry& a, const Entry& b) {
+                     auto rank = [&](const std::string& phase) {
+                       return std::find(phase_order.begin(), phase_order.end(),
+                                        phase) -
+                              phase_order.begin();
+                     };
+                     if (rank(a.phase) != rank(b.phase)) {
+                       return rank(a.phase) < rank(b.phase);
+                     }
+                     return a.worker < b.worker;
+                   });
+  return out;
+}
+
+std::string FormatPhaseTable(
+    const std::vector<PhaseProfiler::Entry>& entries) {
+  if (entries.empty()) return "";
+  // Collect the worker columns and phase rows actually present.
+  std::vector<unsigned> workers;
+  std::vector<std::string> phases;
+  for (const auto& entry : entries) {
+    if (std::find(workers.begin(), workers.end(), entry.worker) ==
+        workers.end()) {
+      workers.push_back(entry.worker);
+    }
+    if (std::find(phases.begin(), phases.end(), entry.phase) == phases.end()) {
+      phases.push_back(entry.phase);
+    }
+  }
+  std::sort(workers.begin(), workers.end());
+  auto cell = [&](const std::string& phase, unsigned worker,
+                  double* seconds, uint64_t* calls) {
+    for (const auto& entry : entries) {
+      if (entry.phase == phase && entry.worker == worker) {
+        *seconds = entry.seconds;
+        *calls = entry.calls;
+        return true;
+      }
+    }
+    return false;
+  };
+  std::ostringstream out;
+  out << "phase breakdown (seconds; workers w0..w" << workers.back() << "):\n";
+  std::size_t name_width = 5;
+  for (const auto& phase : phases) {
+    name_width = std::max(name_width, phase.size());
+  }
+  out << "  " << std::string(name_width, ' ') << " ";
+  char buf[64];
+  for (unsigned worker : workers) {
+    std::snprintf(buf, sizeof(buf), "%9s",
+                  ("w" + std::to_string(worker)).c_str());
+    out << buf;
+  }
+  out << "     total    calls\n";
+  for (const auto& phase : phases) {
+    out << "  " << phase << std::string(name_width - phase.size(), ' ') << " ";
+    double total = 0;
+    uint64_t total_calls = 0;
+    for (unsigned worker : workers) {
+      double seconds = 0;
+      uint64_t calls = 0;
+      if (cell(phase, worker, &seconds, &calls)) {
+        total += seconds;
+        total_calls += calls;
+        std::snprintf(buf, sizeof(buf), "%9.3f", seconds);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%9s", "-");
+      }
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%10.3f %8llu", total,
+                  static_cast<unsigned long long>(total_calls));
+    out << buf << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace era

@@ -1,0 +1,429 @@
+// Process-wide metrics registry, per-query tracing, and phase profiling —
+// the observability substrate for the serving and build paths.
+//
+// The system previously exposed seven disjoint counter surfaces (IoStats,
+// QueryStats, ServingStats, DocQueryStats, the sub-tree cache snapshot,
+// BuildStats, the quarantine map), each with its own snapshot call and
+// ad-hoc printing. This header unifies them behind one registry without
+// disturbing the existing snapshot APIs: the structs remain the public
+// views, but their numbers now live in (or are collected into) registry
+// instruments, so a single exporter can serve everything a future
+// `/metrics` endpoint needs.
+//
+// Three layers:
+//
+//  * Instruments — Counter (sharded atomics: concurrent increments from
+//    many serving threads do not bounce one cache line), Gauge, and
+//    Histogram (fixed upper-bound buckets, upper-INCLUSIVE like Prometheus
+//    `le`, with p50/p90/p99 estimation by intra-bucket interpolation).
+//    Instruments are handed out as shared_ptr and stay valid after the
+//    registry forgets them.
+//
+//  * MetricsRegistry — names instruments into families (one HELP/TYPE per
+//    family, any number of label-distinguished series), accepts callback
+//    collectors for snapshot-style sources that keep their own counters
+//    (the sharded sub-tree cache, the quarantine map), and exports
+//    everything as Prometheus text or a JSON snapshot.
+//
+//  * Tracing — a Trace is a per-request span log filled at the existing
+//    cooperative checkpoints (admission, sub-tree open, match, collect,
+//    device reads). TraceSpan is the RAII recorder; a null trace pointer
+//    makes every span a no-op, so untraced queries pay one pointer test
+//    per checkpoint. TraceRecorder keeps bounded rings of the last N
+//    completed traces and of slow queries (threshold in options), and
+//    exports chrome://tracing JSON.
+//
+// PhaseProfiler (bottom) is the build-side sibling: per-(phase, worker)
+// wall-time accumulation surfaced by `era_cli build` as a breakdown table.
+
+#ifndef ERA_COMMON_METRICS_H_
+#define ERA_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace era {
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter, sharded across cache lines. Increment is wait-free
+/// (one relaxed fetch_add on the calling thread's shard); Value() sums the
+/// shards and is intended for snapshot/export paths, not hot loops.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t delta = 1) {
+    shards_[ShardIndex()].value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr unsigned kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  /// Threads are assigned shards round-robin on first use; the assignment
+  /// is process-wide so two counters never force the same pair of threads
+  /// into the same shard by construction.
+  static unsigned ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-value instrument (resident bytes, queue depth, ...). Set/Add are
+/// atomic; no sharding — gauges are written rarely.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { bits_.store(Pack(value), std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return Unpack(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t Pack(double value);
+  static double Unpack(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// Point-in-time view of a histogram: per-bucket counts plus total count and
+/// sum, with quantile estimation.
+struct HistogramSnapshot {
+  /// Bucket upper bounds, ascending; the last entry is +infinity. A value v
+  /// lands in the first bucket with v <= bounds[i] (upper-INCLUSIVE, the
+  /// Prometheus `le` convention — and the convention the admission layer's
+  /// original hand-rolled histogram used, pinned by admission_test).
+  std::vector<double> bounds;
+  /// Per-bucket (NON-cumulative) observation counts, same length as bounds.
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;  ///< Total observations.
+  double sum = 0;      ///< Sum of observed values.
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the target rank; values in the +inf bucket clamp to the
+  /// largest finite bound. NaN when empty.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram. Observe() is lock-free (two relaxed atomic adds
+/// plus a CAS loop for the sum); bucket layout is immutable after
+/// construction.
+class Histogram {
+ public:
+  /// `bounds` are ascending upper bounds; a trailing +infinity is appended
+  /// if absent. An empty vector gets the default latency layout.
+  explicit Histogram(std::vector<double> bounds = {});
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  /// Index of the bucket `value` lands in (first i with value <=
+  /// bounds()[i]). Exposed so tests can pin bucket semantics.
+  std::size_t BucketFor(double value) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  HistogramSnapshot snapshot() const;
+  uint64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  double Quantile(double q) const { return snapshot().Quantile(q); }
+
+  /// Geometric bucket ladder: min, min*factor, ... up to >= max (then +inf).
+  static std::vector<double> LogBuckets(double min, double max,
+                                        double factor = 2.0);
+  /// Default latency layout: 2x steps from 1 microsecond to ~16 seconds.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // packed double
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Label set of one series, e.g. {{"engine","0"}}. Order is preserved into
+/// the exports.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// One exported sample (a registered instrument read at snapshot time, or a
+/// sample contributed by a collector callback).
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kGauge;
+  MetricLabels labels;
+  double value = 0;        ///< Counter/gauge value.
+  HistogramSnapshot hist;  ///< Histogram payload (kind == kHistogram).
+};
+
+/// Thread-safe instrument registry with pluggable snapshot collectors and
+/// two exporters. Get* registers on first use and returns the existing
+/// instrument on every later call with the same (name, labels) — callers in
+/// different subsystems naturally share series. Instruments are shared_ptr:
+/// they outlive the registry entry and may also be created standalone
+/// (never registered) when a subsystem opts out of export.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the CLI exporters serve.
+  static MetricsRegistry* Global();
+
+  std::shared_ptr<Counter> GetCounter(const std::string& name,
+                                      const std::string& help,
+                                      const MetricLabels& labels = {});
+  std::shared_ptr<Gauge> GetGauge(const std::string& name,
+                                  const std::string& help,
+                                  const MetricLabels& labels = {});
+  /// `bounds` applies only when the series is created by this call; an
+  /// empty vector means Histogram::DefaultLatencyBounds().
+  std::shared_ptr<Histogram> GetHistogram(const std::string& name,
+                                          const std::string& help,
+                                          const MetricLabels& labels = {},
+                                          std::vector<double> bounds = {});
+
+  /// Snapshot-time callback contributing samples for state that keeps its
+  /// own counters (cache shards, quarantine map). Returns a handle for
+  /// RemoveCollector; the owner MUST remove itself before the state it
+  /// captures dies.
+  using Collector = std::function<void(std::vector<MetricSample>*)>;
+  uint64_t AddCollector(Collector collector);
+  void RemoveCollector(uint64_t id);
+
+  /// All current samples: registered instruments first (sorted by family
+  /// name), then collector output. The raw material of both exporters and
+  /// of the CLI's degradation printer.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus text exposition: one # HELP + # TYPE per family, series
+  /// lines with rendered labels, histograms as cumulative _bucket{le=...}
+  /// plus _sum/_count.
+  std::string ExportPrometheus() const;
+  /// JSON snapshot: {"metrics":[{name,kind,labels,value|count/sum/
+  /// p50/p90/p99/buckets}]}.
+  std::string ExportJson() const;
+
+ private:
+  struct Series {
+    MetricLabels labels;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kGauge;
+    std::string help;
+    std::vector<Series> series;
+  };
+
+  Series* FindOrCreateSeries(const std::string& name, const std::string& help,
+                             MetricKind kind, const MetricLabels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::map<uint64_t, Collector> collectors_;
+  uint64_t next_collector_id_ = 1;
+};
+
+/// Renders labels as `k="v",k2="v2"` (no braces); empty for no labels.
+std::string RenderLabels(const MetricLabels& labels);
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// One completed span inside a trace. `name`/`note` must be string
+/// literals (the checkpoints are fixed program points).
+struct TraceSpanRecord {
+  const char* name = "";
+  const char* note = nullptr;  ///< e.g. "cache_hit"; nullptr when none.
+  double start_us = 0;         ///< Microseconds since the trace started.
+  double dur_us = 0;
+  int depth = 0;  ///< Nesting depth (0 = directly under the root).
+};
+
+/// Span log of one request. Filled by exactly one thread (the query thread)
+/// between StartTrace and FinishTrace; immutable afterwards.
+struct Trace {
+  uint64_t id = 0;
+  uint64_t client_id = 0;
+  std::string label;  ///< e.g. "count" / "locate".
+  double total_us = 0;
+  std::string status = "OK";  ///< Final status code name.
+  std::vector<TraceSpanRecord> spans;
+  std::size_t dropped_spans = 0;  ///< Spans beyond the per-trace cap.
+
+  /// Microseconds since the trace started (span timestamps).
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_time)
+        .count();
+  }
+
+  // Recorder internals (public so TraceSpan stays trivial).
+  std::chrono::steady_clock::time_point start_time;
+  int depth = 0;
+  std::size_t max_spans = 512;
+};
+
+/// RAII span. Constructed with a null trace it does nothing — that is the
+/// entire cost of tracing being off on a hot path.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, const char* name) : trace_(trace), name_(name) {
+    if (trace_ != nullptr) {
+      start_us_ = trace_->NowUs();
+      depth_ = trace_->depth++;
+    }
+  }
+  ~TraceSpan() {
+    if (trace_ == nullptr) return;
+    --trace_->depth;
+    if (trace_->spans.size() >= trace_->max_spans) {
+      ++trace_->dropped_spans;
+      return;
+    }
+    trace_->spans.push_back(
+        {name_, note_, start_us_, trace_->NowUs() - start_us_, depth_});
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an annotation decided mid-span (e.g. cache hit vs miss).
+  void set_note(const char* note) { note_ = note; }
+
+ private:
+  Trace* trace_;
+  const char* name_;
+  const char* note_ = nullptr;
+  double start_us_ = 0;
+  int depth_ = 0;
+};
+
+struct TraceRecorderOptions {
+  /// Completed traces kept (ring; oldest evicted first).
+  std::size_t ring_capacity = 128;
+  /// Slow traces kept in the separate slow-query ring.
+  std::size_t slow_ring_capacity = 32;
+  /// A completed trace at least this long is slow: kept in the slow ring
+  /// and (when log_slow) emitted as one ERA_LOG(Warn) line. <= 0 disables
+  /// the slow-query log entirely.
+  double slow_query_seconds = 0;
+  /// Emit a log line per slow query (in addition to keeping the trace).
+  bool log_slow = true;
+  /// Span cap per trace; beyond it spans are counted as dropped, never
+  /// allocated.
+  std::size_t max_spans_per_trace = 512;
+};
+
+/// Owns the bounded rings of completed traces. Thread-safe; one per
+/// QueryEngine (created when tracing is enabled in its options).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const TraceRecorderOptions& options = {});
+
+  /// Begins a trace. The caller threads trace.get() through its
+  /// QueryContext and MUST pass the trace back to FinishTrace.
+  std::shared_ptr<Trace> StartTrace(std::string label, uint64_t client_id);
+  void FinishTrace(const std::shared_ptr<Trace>& trace, const Status& status);
+
+  /// Last completed traces, oldest first.
+  std::vector<std::shared_ptr<const Trace>> Recent() const;
+  /// Slow-query ring, oldest first.
+  std::vector<std::shared_ptr<const Trace>> Slow() const;
+
+  uint64_t traces_started() const {
+    return started_.load(std::memory_order_relaxed);
+  }
+  uint64_t traces_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_traces() const { return slow_.load(std::memory_order_relaxed); }
+
+  /// chrome://tracing / Perfetto-loadable JSON of the recent ring: each
+  /// trace renders as its own track (tid = trace id) with a root "X" event
+  /// spanning the whole request and one nested "X" event per span.
+  std::string ExportChromeTracing() const;
+
+  const TraceRecorderOptions& options() const { return options_; }
+
+ private:
+  const TraceRecorderOptions options_;
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> slow_{0};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const Trace>> ring_;
+  std::deque<std::shared_ptr<const Trace>> slow_ring_;
+};
+
+// ---------------------------------------------------------------------------
+// Build-phase profiling
+// ---------------------------------------------------------------------------
+
+/// Wall-time accumulator keyed by (phase, worker). Record() is coarse
+/// (once per task/group, not per item), so a mutex is fine.
+class PhaseProfiler {
+ public:
+  struct Entry {
+    std::string phase;
+    unsigned worker = 0;
+    double seconds = 0;
+    uint64_t calls = 0;
+  };
+
+  void Record(const std::string& phase, unsigned worker, double seconds,
+              uint64_t calls = 1);
+  void Merge(const std::vector<Entry>& entries);
+
+  /// Entries in first-recorded phase order, workers ascending within a
+  /// phase.
+  std::vector<Entry> Entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+/// Renders phase entries as the `era_cli build` breakdown table: one row
+/// per phase, one column per worker, plus total seconds and call counts.
+std::string FormatPhaseTable(const std::vector<PhaseProfiler::Entry>& entries);
+
+}  // namespace era
+
+#endif  // ERA_COMMON_METRICS_H_

@@ -31,6 +31,8 @@
 
 namespace era {
 
+struct Trace;
+
 /// Shareable cancellation flag. Copies alias the same state; Cancel() on any
 /// copy is observed by all of them. Thread-safe.
 class CancellationToken {
@@ -60,6 +62,12 @@ struct QueryContext {
   /// round-robin across client ids, so one flooding client cannot starve
   /// the others (see query/admission.h).
   uint64_t client_id = 0;
+  /// Per-request trace (common/metrics.h), recorded at the same cooperative
+  /// checkpoints the deadline is checked at. Null (the default) means the
+  /// request is untraced and every span is a no-op; when the engine samples
+  /// a request for tracing it passes a copy of the caller's context with
+  /// this set. Borrowed — the trace outlives the request via its recorder.
+  Trace* trace = nullptr;
 
   /// Context expiring `seconds` from now.
   static QueryContext WithTimeout(double seconds);

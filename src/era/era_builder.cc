@@ -103,11 +103,18 @@ StatusOr<uint64_t> BuildAndEmitPrefix(const BuildOptions& options,
                                       std::size_t k, PreparedSubTree&& prepared,
                                       GroupOutput* out,
                                       BackgroundSubTreeWriter* writer,
-                                      CheckpointManager* checkpoint) {
+                                      CheckpointManager* checkpoint,
+                                      PhaseProfiler* profiler,
+                                      unsigned worker) {
+  WallTimer build_timer;
   ERA_ASSIGN_OR_RETURN(TreeBuffer tree, BuildSubTree(prepared, text_length));
+  if (profiler != nullptr) {
+    profiler->Record("build_subtree", worker, build_timer.Seconds());
+  }
   return EmitBuiltSubTree(options, group_id, k, std::move(prepared.prefix),
                           static_cast<uint64_t>(prepared.leaves.size()),
-                          std::move(tree), out, writer, checkpoint);
+                          std::move(tree), out, writer, checkpoint, profiler,
+                          worker);
 }
 
 StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
@@ -115,7 +122,8 @@ StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
                                     std::string prefix, uint64_t frequency,
                                     TreeBuffer&& tree, GroupOutput* out,
                                     BackgroundSubTreeWriter* writer,
-                                    CheckpointManager* checkpoint) {
+                                    CheckpointManager* checkpoint,
+                                    PhaseProfiler* profiler, unsigned worker) {
   const uint64_t bytes = tree.MemoryBytes();
   std::string filename = SubTreeFileName(group_id, k);
   std::string path = options.work_dir + "/" + filename;
@@ -132,10 +140,14 @@ StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
                             }
                           });
   } else {
+    WallTimer write_timer;
     uint32_t file_crc = 0;
     ERA_RETURN_NOT_OK(WriteSubTree(options.GetEnv(), path, prefix, tree,
                                    &out->write_io, &file_crc,
                                    options.format));
+    if (profiler != nullptr) {
+      profiler->Record("subtree_write", worker, write_timer.Seconds());
+    }
     if (checkpoint != nullptr) {
       checkpoint->NoteSubTreeWritten(group_id, k, file_crc);
     }
@@ -157,13 +169,18 @@ Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
                     const MemoryLayout& layout, const VirtualTree& group,
                     uint64_t group_id, StringReader* reader, GroupOutput* out,
                     BackgroundSubTreeWriter* writer,
-                    CheckpointManager* checkpoint) {
+                    CheckpointManager* checkpoint, PhaseProfiler* profiler,
+                    unsigned worker) {
   RangePolicy policy = RangePolicy::FromOptions(options, layout.r_buffer_bytes);
   out->subtrees.resize(group.prefixes.size());
 
   if (options.horizontal == HorizontalMethod::kBranchEdge) {
+    WallTimer fused_timer;
     GroupStrBuilder builder(group, policy, reader, text.length);
     ERA_RETURN_NOT_OK(builder.Run());
+    if (profiler != nullptr) {
+      profiler->Record("branch_edge", worker, fused_timer.Seconds());
+    }
     out->rounds = builder.stats().rounds;
     for (std::size_t k = 0; k < builder.results().size(); ++k) {
       auto& [prefix, tree] = builder.results()[k];
@@ -171,25 +188,36 @@ Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
           uint64_t bytes,
           EmitBuiltSubTree(options, group_id, k, prefix,
                            group.prefixes[k].frequency, std::move(tree), out,
-                           writer, checkpoint));
+                           writer, checkpoint, profiler, worker));
       out->tree_bytes += bytes;
     }
   } else {
     GroupPreparer preparer(group, policy, reader, text.length);
     // Stream: a resolved prefix is built and handed to the writer while the
     // remaining prefixes are still scanning S (pipeline stages 2 and 3
-    // overlap stage 1 even inside a single group).
+    // overlap stage 1 even inside a single group). Build/write time spent
+    // inside the emit callback is subtracted from the prepare phase so the
+    // breakdown reflects the stages, not the call nesting.
+    WallTimer prepare_timer;
+    double nested_seconds = 0;
     preparer.SetEmitCallback(
         [&](std::size_t k, PreparedSubTree&& prepared) -> Status {
+          WallTimer nested_timer;
           ERA_ASSIGN_OR_RETURN(
               uint64_t bytes,
               BuildAndEmitPrefix(options, text.length, group_id, k,
                                  std::move(prepared), out, writer,
-                                 checkpoint));
+                                 checkpoint, profiler, worker));
           out->tree_bytes += bytes;
+          nested_seconds += nested_timer.Seconds();
           return Status::OK();
         });
     ERA_RETURN_NOT_OK(preparer.Run());
+    if (profiler != nullptr) {
+      profiler->Record(
+          "prepare", worker,
+          std::max(0.0, prepare_timer.Seconds() - nested_seconds));
+    }
     out->rounds = preparer.stats().rounds;
   }
   return Status::OK();
@@ -233,10 +261,12 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
       std::shared_ptr<TileCache> tile_cache,
       OpenBuildTileCache(options_.GetEnv(), text, layout, /*num_workers=*/1));
 
+  PhaseProfiler profiler;
   ERA_ASSIGN_OR_RETURN(
       PartitionPlan plan,
       VerticalPartition(text, options_, layout.fm, tile_cache));
   stats.vertical_seconds = plan.seconds;
+  profiler.Record("vertical_partition", 0, plan.seconds);
   stats.io.Add(plan.io);
   stats.num_groups = plan.groups.size();
   stats.num_subtrees = plan.NumSubTrees();
@@ -290,7 +320,8 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
     }
     ERA_RETURN_NOT_OK(ProcessGroup(text, options_, layout, plan.groups[g], g,
                                    reader.get(), &outputs[g],
-                                   /*writer=*/nullptr, checkpoint.get()));
+                                   /*writer=*/nullptr, checkpoint.get(),
+                                   &profiler, /*worker=*/0));
     stats.prepare_rounds += outputs[g].rounds;
     stats.peak_tree_bytes =
         std::max(stats.peak_tree_bytes, outputs[g].tree_bytes);
@@ -304,9 +335,12 @@ StatusOr<BuildResult> EraBuilder::Build(const TextInfo& text) {
   stats.horizontal_seconds = horizontal_timer.Seconds();
 
   BuildResult result;
+  WallTimer assemble_timer;
   ERA_ASSIGN_OR_RETURN(result.index,
                        AssembleIndex(text, options_, plan, outputs));
+  profiler.Record("assemble_index", 0, assemble_timer.Seconds());
   stats.total_seconds = total_timer.Seconds();
+  stats.phases = profiler.Entries();
   result.stats = stats;
   return result;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/options.h"
 #include "common/status.h"
 #include "era/memory_layout.h"
@@ -36,6 +37,12 @@ struct BuildStats {
   /// Length of the indexed text (terminal included); denominator of
   /// io_amplification().
   uint64_t text_bytes = 0;
+  /// Per-(phase, worker) wall-time attribution of the build: phases are
+  /// "vertical_partition", "prepare", "build_subtree", "branch_edge",
+  /// "wavefront", "subtree_write", and "assemble_index". Background-writer
+  /// time is attributed to a synthetic worker id one past the build workers.
+  /// Render with FormatPhaseTable().
+  std::vector<PhaseProfiler::Entry> phases;
 
   /// Device bytes read per text byte — the cost of re-streaming S across
   /// groups and rounds. io.bytes_read counts only true device transfers
@@ -99,13 +106,16 @@ struct GroupOutput {
 /// durably published file is reported to `checkpoint` (when given) with its
 /// CRC-32C, on the writer thread for enqueued writes. Returns the tree's
 /// in-memory size. Safe to call concurrently for distinct slots of the same
-/// GroupOutput.
+/// GroupOutput. Synchronous writes bill their wall time to `profiler` (when
+/// given) as phase "subtree_write" under `worker`.
 StatusOr<uint64_t> EmitBuiltSubTree(const BuildOptions& options,
                                     uint64_t group_id, std::size_t k,
                                     std::string prefix, uint64_t frequency,
                                     TreeBuffer&& tree, GroupOutput* out,
                                     BackgroundSubTreeWriter* writer,
-                                    CheckpointManager* checkpoint = nullptr);
+                                    CheckpointManager* checkpoint = nullptr,
+                                    PhaseProfiler* profiler = nullptr,
+                                    unsigned worker = 0);
 
 /// The full per-prefix tail of the pipeline: BuildSubTree on a prepared
 /// prefix, then EmitBuiltSubTree. One body shared by the serial streaming
@@ -116,7 +126,9 @@ StatusOr<uint64_t> BuildAndEmitPrefix(const BuildOptions& options,
                                       std::size_t k, PreparedSubTree&& prepared,
                                       GroupOutput* out,
                                       BackgroundSubTreeWriter* writer,
-                                      CheckpointManager* checkpoint = nullptr);
+                                      CheckpointManager* checkpoint = nullptr,
+                                      PhaseProfiler* profiler = nullptr,
+                                      unsigned worker = 0);
 
 /// Builds all sub-trees of `group`, writes them under `options.work_dir`
 /// with filenames `st_<group_id>_<k>`, and reports what was written.
@@ -129,7 +141,8 @@ Status ProcessGroup(const TextInfo& text, const BuildOptions& options,
                     uint64_t group_id, StringReader* reader,
                     GroupOutput* out,
                     BackgroundSubTreeWriter* writer = nullptr,
-                    CheckpointManager* checkpoint = nullptr);
+                    CheckpointManager* checkpoint = nullptr,
+                    PhaseProfiler* profiler = nullptr, unsigned worker = 0);
 
 /// Fills `out` for a group that a resume pass verified on disk: sub-tree
 /// entries are reconstructed from the plan (prefix, frequency) and the

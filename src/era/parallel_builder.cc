@@ -123,10 +123,12 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
                        OpenBuildTileCache(env, text, layout, num_workers_));
 
   // Vertical partitioning is not parallelized (its cost is low; Section 5).
+  PhaseProfiler profiler;
   ERA_ASSIGN_OR_RETURN(
       PartitionPlan plan,
       VerticalPartition(text, worker_options, layout.fm, tile_cache));
   stats.vertical_seconds = plan.seconds;
+  profiler.Record("vertical_partition", 0, plan.seconds);
   stats.io.Add(plan.io);
   stats.num_groups = plan.groups.size();
   stats.num_subtrees = plan.NumSubTrees();
@@ -247,21 +249,26 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
                 uint64_t bytes,
                 BuildAndEmitPrefix(worker_options, text.length, g, task.prefix,
                                    std::move(gw.prepared[task.prefix]),
-                                   &outputs[g], &writer, checkpoint.get()));
+                                   &outputs[g], &writer, checkpoint.get(),
+                                   &profiler, w));
             gw.tree_bytes.fetch_add(bytes, std::memory_order_relaxed);
             return Status::OK();
           }
           if (wavefront) {
-            return WaveFrontProcessUnit(text, worker_options, plan.groups[g],
-                                        g, reader.get(), suffix_reader.get(),
-                                        edge_reader.get(), &outputs[g]);
+            WallTimer unit_timer;
+            Status s = WaveFrontProcessUnit(text, worker_options,
+                                            plan.groups[g], g, reader.get(),
+                                            suffix_reader.get(),
+                                            edge_reader.get(), &outputs[g]);
+            profiler.Record("wavefront", w, unit_timer.Seconds());
+            return s;
           }
           if (!prepare_build) {
             // BranchEdge fuses prepare+build per group; only its writes
             // overlap (the background writer).
             return ProcessGroup(text, worker_options, layout, plan.groups[g],
                                 g, reader.get(), &outputs[g], &writer,
-                                checkpoint.get());
+                                checkpoint.get(), &profiler, w);
           }
           // Prepare stage: stream each resolved prefix out as a stealable
           // build task, then keep draining our own deque LIFO.
@@ -277,7 +284,9 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
                                static_cast<uint32_t>(k)});
                 return Status::OK();
               });
+          WallTimer prepare_timer;
           ERA_RETURN_NOT_OK(preparer.Run());
+          profiler.Record("prepare", w, prepare_timer.Seconds());
           outputs[g].rounds = preparer.stats().rounds;
           return Status::OK();
         };
@@ -322,13 +331,22 @@ StatusOr<ParallelBuildResult> ParallelBuilder::Build(const TextInfo& text) {
     stats.io.Add(output.write_io);
   }
   stats.horizontal_seconds = horizontal_timer.Seconds();
+  // Background serialization ran off the workers' critical path; attribute
+  // it to a synthetic worker column one past the build workers.
+  if (writer.jobs_written() > 0) {
+    profiler.Record("subtree_write", num_workers_, writer.write_seconds(),
+                    writer.jobs_written());
+  }
 
   ParallelBuildResult result;
+  WallTimer assemble_timer;
   ERA_ASSIGN_OR_RETURN(result.index,
                        AssembleIndex(text, worker_options, plan, outputs));
+  profiler.Record("assemble_index", 0, assemble_timer.Seconds());
   result.worker_seconds = worker_seconds;
   result.worker_busy_seconds = worker_busy_seconds;
   stats.total_seconds = total_timer.Seconds();
+  stats.phases = profiler.Entries();
   result.stats = stats;
   return result;
 }

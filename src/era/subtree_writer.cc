@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/timer.h"
 #include "suffixtree/serializer.h"
 
 namespace era {
@@ -75,11 +76,15 @@ void BackgroundSubTreeWriter::Enqueue(std::string path, std::string prefix,
     }
     IoStats local;
     uint32_t file_crc = 0;
+    WallTimer write_timer;
     Status s = WriteSubTree(env_, job->path, job->prefix, job->tree, &local,
                             &file_crc, format_);
+    const double write_seconds = write_timer.Seconds();
     {
       std::lock_guard<std::mutex> lock(mu_);
       io_.Add(local);
+      write_seconds_ += write_seconds;
+      ++jobs_written_;
       if (!s.ok() && first_error_.ok()) {
         first_error_ = s;
         failed_.store(true, std::memory_order_release);

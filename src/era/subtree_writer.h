@@ -67,6 +67,11 @@ class BackgroundSubTreeWriter {
   const IoStats& io() const { return io_; }
   /// High-water mark of the backlog, for tuning the bound.
   uint64_t peak_queued_bytes() const { return peak_queued_bytes_; }
+  /// Summed wall time the writer threads spent inside WriteSubTree and the
+  /// number of jobs written — the "subtree_write" phase of a build's profile.
+  /// Only stable after Drain().
+  double write_seconds() const { return write_seconds_; }
+  uint64_t jobs_written() const { return jobs_written_; }
 
  private:
   Env* env_;
@@ -81,6 +86,8 @@ class BackgroundSubTreeWriter {
   std::atomic<bool> failed_{false};  // mirrors !first_error_.ok()
 
   IoStats io_;
+  double write_seconds_ = 0;
+  uint64_t jobs_written_ = 0;
   ThreadPool pool_;  // last: its workers use the members above
 };
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace era {
 
@@ -102,6 +103,20 @@ struct IoStats {
 
   std::string ToString() const;
 };
+
+/// One IoStats field described for the metrics registry: exported metric
+/// name, help text, and the member it reads. The table (IoStatsFields) is
+/// the single source of truth for folding an IoStats into registry counters
+/// and for materializing the IoStats snapshot back out of them — adding a
+/// field here wires it through export automatically.
+struct IoStatsField {
+  const char* name;
+  const char* help;
+  uint64_t IoStats::*member;
+};
+
+/// All IoStats fields, in declaration order.
+const std::vector<IoStatsField>& IoStatsFields();
 
 /// Prices IoStats events as a conventional spinning disk would.
 struct DiskModel {

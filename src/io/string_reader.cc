@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/metrics.h"
+
 namespace era {
 
 namespace {
@@ -62,6 +64,11 @@ Status StringReader::Refill(uint64_t pos, bool sequential,
   }
   std::size_t got = 0;
   uint64_t retries = 0;
+  // Traced queries record each window transfer as a span; `note`
+  // distinguishes sequential refills from random repositionings.
+  TraceSpan span(context_ != nullptr ? context_->trace : nullptr,
+                 "device_read");
+  span.set_note(sequential ? "sequential" : "random");
   ERA_RETURN_NOT_OK(RunWithRetry(
       options_.retry, context_,
       [&] { return file_->Read(pos, want, buffer_.data(), &got); },

@@ -8,22 +8,22 @@ namespace era {
 
 namespace {
 
-/// Upper bounds of the queue-wait histogram buckets, in seconds.
+/// Upper bounds of the queue-wait histogram buckets, in seconds. The shared
+/// Histogram assigns values upper-inclusively (value <= bound), preserving
+/// the semantics of the original hand-rolled bucket loop this replaced
+/// (pinned by admission_test).
 constexpr double kWaitBounds[ServingStats::kWaitBuckets] = {
     0.00025, 0.001, 0.004, 0.016, 0.064,
     0.256,   1.0,   std::numeric_limits<double>::infinity()};
-
-uint32_t WaitBucketFor(double seconds) {
-  for (uint32_t i = 0; i + 1 < ServingStats::kWaitBuckets; ++i) {
-    if (seconds <= kWaitBounds[i]) return i;
-  }
-  return ServingStats::kWaitBuckets - 1;
-}
 
 }  // namespace
 
 double ServingStats::WaitBucketBound(uint32_t i) {
   return kWaitBounds[std::min(i, kWaitBuckets - 1)];
+}
+
+std::vector<double> ServingStats::WaitBucketBounds() {
+  return {kWaitBounds, kWaitBounds + kWaitBuckets};
 }
 
 void ServingStats::Add(const ServingStats& other) {
@@ -55,7 +55,45 @@ void Permit::Release() {
 }
 
 AdmissionController::AdmissionController(const AdmissionOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.registry != nullptr) {
+    MetricsRegistry* reg = options_.registry;
+    const MetricLabels& labels = options_.metric_labels;
+    admitted_ = reg->GetCounter("era_serving_admitted_total",
+                                "Requests granted an admission slot", labels);
+    queued_ = reg->GetCounter("era_serving_queued_total",
+                              "Admitted requests that waited in the queue",
+                              labels);
+    shed_ = reg->GetCounter("era_serving_shed_total",
+                            "Requests refused with ResourceExhausted", labels);
+    deadline_exceeded_ = reg->GetCounter(
+        "era_serving_deadline_exceeded_total",
+        "Requests whose deadline expired before, while queued, or in flight",
+        labels);
+    cancelled_ = reg->GetCounter("era_serving_cancelled_total",
+                                 "Requests cancelled before, while queued, or "
+                                 "in flight",
+                                 labels);
+    deadline_evicted_ = reg->GetCounter(
+        "era_serving_deadline_evicted_total",
+        "Waiters evicted at grant time because their deadline passed in the "
+        "queue",
+        labels);
+    queue_wait_ = reg->GetHistogram(
+        "era_serving_queue_wait_seconds",
+        "Queue wait of requests that actually queued before admission",
+        labels, ServingStats::WaitBucketBounds());
+  } else {
+    admitted_ = std::make_shared<Counter>();
+    queued_ = std::make_shared<Counter>();
+    shed_ = std::make_shared<Counter>();
+    deadline_exceeded_ = std::make_shared<Counter>();
+    cancelled_ = std::make_shared<Counter>();
+    deadline_evicted_ = std::make_shared<Counter>();
+    queue_wait_ =
+        std::make_shared<Histogram>(ServingStats::WaitBucketBounds());
+  }
+}
 
 AdmissionController::~AdmissionController() {
   // Waiters borrow stack frames from live Admit calls; destroying the
@@ -67,42 +105,42 @@ AdmissionController::~AdmissionController() {
 Status AdmissionController::Admit(const QueryContext& ctx, Permit* permit) {
   std::unique_lock<std::mutex> lock(mu_);
   if (draining_) {
-    ++stats_.shed;
+    shed_->Increment();
     return Status::ResourceExhausted("serving is draining");
   }
   if (ctx.cancelled()) {
-    ++stats_.cancelled;
+    cancelled_->Increment();
     return Status::Cancelled("query cancelled before admission");
   }
   const auto now = QueryContext::Clock::now();
   if (ctx.expired(now)) {
-    ++stats_.deadline_exceeded;
+    deadline_exceeded_->Increment();
     return Status::DeadlineExceeded("query deadline passed before admission");
   }
   if (!options_.enabled) {
     // Everything is admitted instantly, but in-flight is still tracked so
     // Drain()/WaitIdle() keep their contract with the controller disabled.
     ++in_flight_;
-    ++stats_.admitted;
+    admitted_->Increment();
     *permit = Permit(this);
     return Status::OK();
   }
   if (in_flight_ < options_.max_in_flight && total_waiters_ == 0) {
     ++in_flight_;
-    ++stats_.admitted;
+    admitted_->Increment();
     *permit = Permit(this);
     return Status::OK();
   }
   // Must queue (or shed). Bounded: beyond the burst buffer the honest
   // answer is an immediate refusal, not a wait the deadline will eat.
   if (total_waiters_ >= options_.max_queue) {
-    ++stats_.shed;
+    shed_->Increment();
     return Status::ResourceExhausted("admission queue is full");
   }
   std::deque<Waiter*>& queue = queues_[ctx.client_id];
   if (options_.max_queue_per_client > 0 &&
       queue.size() >= options_.max_queue_per_client) {
-    ++stats_.shed;
+    shed_->Increment();
     return Status::ResourceExhausted("client admission queue is full");
   }
   Waiter waiter;
@@ -124,12 +162,12 @@ Status AdmissionController::Admit(const QueryContext& ctx, Permit* permit) {
     if (waiter.wake != Wake::kWaiting) break;
     if (ctx.cancelled()) {
       RemoveWaiterLocked(ctx.client_id, &waiter);
-      ++stats_.cancelled;
+      cancelled_->Increment();
       return Status::Cancelled("query cancelled while queued");
     }
     if (ctx.expired(QueryContext::Clock::now())) {
       RemoveWaiterLocked(ctx.client_id, &waiter);
-      ++stats_.deadline_exceeded;
+      deadline_exceeded_->Increment();
       return Status::DeadlineExceeded("query deadline passed while queued");
     }
   }
@@ -138,9 +176,9 @@ Status AdmissionController::Admit(const QueryContext& ctx, Permit* permit) {
       const double waited = std::chrono::duration<double>(
                                 QueryContext::Clock::now() - waiter.enqueued_at)
                                 .count();
-      ++stats_.queued;
-      ++stats_.admitted;
-      ++stats_.queue_wait_buckets[WaitBucketFor(waited)];
+      queued_->Increment();
+      admitted_->Increment();
+      queue_wait_->Observe(waited);
       *permit = Permit(this);
       return Status::OK();
     }
@@ -178,10 +216,10 @@ void AdmissionController::GrantLocked(QueryContext::Clock::time_point now) {
         --total_waiters_;
         waiter->wake = Wake::kEvicted;
         if (was_cancelled) {
-          ++stats_.cancelled;
+          cancelled_->Increment();
         } else {
-          ++stats_.deadline_exceeded;
-          ++stats_.deadline_evicted;
+          deadline_exceeded_->Increment();
+          deadline_evicted_->Increment();
         }
         waiter->cv.notify_one();
         continue;
@@ -229,9 +267,9 @@ void AdmissionController::RecordOutcome(const Status& status) {
   if (!status.IsDeadlineExceeded() && !status.IsCancelled()) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (status.IsDeadlineExceeded()) {
-    ++stats_.deadline_exceeded;
+    deadline_exceeded_->Increment();
   } else {
-    ++stats_.cancelled;
+    cancelled_->Increment();
   }
 }
 
@@ -241,7 +279,7 @@ void AdmissionController::Drain() {
   for (auto& [client, queue] : queues_) {
     for (Waiter* waiter : queue) {
       waiter->wake = Wake::kShed;
-      ++stats_.shed;
+      shed_->Increment();
       waiter->cv.notify_one();
     }
   }
@@ -271,8 +309,21 @@ uint32_t AdmissionController::in_flight() const {
 }
 
 ServingStats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // The counters are lock-free; each field is internally consistent and the
+  // view is as coherent as the old under-lock copy was to its callers.
+  ServingStats stats;
+  stats.admitted = admitted_->Value();
+  stats.queued = queued_->Value();
+  stats.shed = shed_->Value();
+  stats.deadline_exceeded = deadline_exceeded_->Value();
+  stats.cancelled = cancelled_->Value();
+  stats.deadline_evicted = deadline_evicted_->Value();
+  const HistogramSnapshot wait = queue_wait_->snapshot();
+  for (uint32_t i = 0;
+       i < ServingStats::kWaitBuckets && i < wait.counts.size(); ++i) {
+    stats.queue_wait_buckets[i] = wait.counts[i];
+  }
+  return stats;
 }
 
 }  // namespace era

@@ -32,7 +32,9 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/query_context.h"
 #include "common/status.h"
 
@@ -61,10 +63,19 @@ struct AdmissionOptions {
   /// blocked (deadline expiry needs no polling — waits are clamped to the
   /// deadline).
   double queue_poll_seconds = 0.005;
+  /// Registry the serving counters and the queue-wait histogram register
+  /// into (as era_serving_* with `metric_labels`). Null keeps the
+  /// instruments standalone: identical behavior and identical stats(), just
+  /// invisible to the exporters.
+  MetricsRegistry* registry = nullptr;
+  /// Labels distinguishing this controller's series (e.g. {{"engine","0"}}).
+  MetricLabels metric_labels;
 };
 
-/// Counters for the serving layer, surfaced beside QueryStats. Mutated under
-/// the controller's lock; read via AdmissionController::stats().
+/// Snapshot of the serving-layer counters, surfaced beside QueryStats. The
+/// numbers live in shared metrics instruments (common/metrics.h) inside the
+/// controller; this struct is the thin view read via
+/// AdmissionController::stats(), kept so existing callers break not at all.
 struct ServingStats {
   /// Requests granted a slot (immediately or after queueing).
   uint64_t admitted = 0;
@@ -84,12 +95,17 @@ struct ServingStats {
   uint64_t deadline_evicted = 0;
 
   /// Queue-wait histogram: bucket upper bounds 0.25ms, 1ms, 4ms, 16ms,
-  /// 64ms, 256ms, 1s, +inf. Only requests that actually queued are billed.
+  /// 64ms, 256ms, 1s, +inf (upper-inclusive). Only requests that actually
+  /// queued are billed. Backed by the shared Histogram type; this fixed
+  /// array is the snapshot view.
   static constexpr uint32_t kWaitBuckets = 8;
   uint64_t queue_wait_buckets[kWaitBuckets] = {};
   /// Upper bound of bucket `i` in seconds (+inf for the last). Exposed for
   /// printing.
   static double WaitBucketBound(uint32_t i);
+  /// The same bounds as a vector — the layout of the shared queue-wait
+  /// Histogram (admission_test pins that the two agree).
+  static std::vector<double> WaitBucketBounds();
 
   void Add(const ServingStats& other);
 };
@@ -197,7 +213,17 @@ class AdmissionController {
   std::unordered_map<uint64_t, std::deque<Waiter*>> queues_;
   /// Round-robin order of client ids with live waiters.
   std::deque<uint64_t> rr_;
-  ServingStats stats_;
+
+  /// Serving counters as shared instruments (registered as era_serving_*
+  /// when options_.registry is set, standalone otherwise). stats() reads
+  /// them back into the ServingStats view.
+  std::shared_ptr<Counter> admitted_;
+  std::shared_ptr<Counter> queued_;
+  std::shared_ptr<Counter> shed_;
+  std::shared_ptr<Counter> deadline_exceeded_;
+  std::shared_ptr<Counter> cancelled_;
+  std::shared_ptr<Counter> deadline_evicted_;
+  std::shared_ptr<Histogram> queue_wait_;
 };
 
 }  // namespace era

@@ -4,6 +4,27 @@
 
 namespace era {
 
+const std::vector<QueryStatsField>& QueryStatsFields() {
+  static const std::vector<QueryStatsField>* fields =
+      new std::vector<QueryStatsField>{
+          {"era_query_queries_total", "Completed Count/Locate/Contains calls",
+           &QueryStats::queries},
+          {"era_query_trie_resolved_counts_total",
+           "Counts answered from the trie alone (no sub-tree open)",
+           &QueryStats::trie_resolved_counts},
+          {"era_query_nodes_visited_total",
+           "Sub-tree nodes examined while matching",
+           &QueryStats::nodes_visited},
+          {"era_query_leaves_enumerated_total",
+           "Leaf records materialized (Locate only)",
+           &QueryStats::leaves_enumerated},
+          {"era_query_unavailable_queries_total",
+           "Queries answered Unavailable (sub-tree could not be loaded)",
+           &QueryStats::unavailable_queries},
+      };
+  return *fields;
+}
+
 void CollectLeaves(const TreeBuffer& tree, uint32_t node,
                    std::vector<uint64_t>* leaves, std::size_t limit) {
   std::vector<uint32_t> stack{node};
@@ -60,17 +81,132 @@ Status CollectLeaves(const CountedTree& tree, uint32_t node,
   return Status::OK();
 }
 
+namespace {
+
+/// Process-wide engine numbering for the {engine="N"} instance label: a
+/// fresh engine always gets fresh series, so its counters start at zero no
+/// matter how many engines this process opened before.
+uint64_t NextEngineInstance() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Open(
     Env* env, const std::string& index_dir, const QueryEngineOptions& options) {
   ERA_ASSIGN_OR_RETURN(TreeIndex index, TreeIndex::Load(env, index_dir));
   index.ConfigureCache(options.cache);
+  QueryEngineOptions engine_options = options;
+  if (engine_options.metrics_enabled) {
+    // The admission controller registers its era_serving_* series under the
+    // same instance label as the engine's own counters.
+    if (engine_options.registry == nullptr) {
+      engine_options.registry = MetricsRegistry::Global();
+    }
+    engine_options.admission.registry = engine_options.registry;
+    engine_options.admission.metric_labels = {
+        {"engine", std::to_string(NextEngineInstance())}};
+  }
   std::unique_ptr<QueryEngine> engine(
-      new QueryEngine(env, std::move(index), options));
+      new QueryEngine(env, std::move(index), engine_options));
+  engine->InitObservability();
   // Open (and immediately pool) one session so a missing text file fails at
   // Open rather than on the first query.
   ERA_ASSIGN_OR_RETURN(auto session, engine->AcquireSession());
   engine->ReleaseSession(std::move(session));
   return engine;
+}
+
+QueryEngine::~QueryEngine() {
+  if (metrics_ != nullptr && metrics_->collector_id != 0) {
+    metrics_->registry->RemoveCollector(metrics_->collector_id);
+  }
+}
+
+void QueryEngine::InitObservability() {
+  if (options_.trace.enabled) {
+    tracer_ = std::make_unique<TraceRecorder>(options_.trace.recorder);
+  }
+  if (!options_.metrics_enabled) return;
+  metrics_ = std::make_unique<RegistryHooks>();
+  metrics_->registry = options_.registry;
+  const MetricLabels& labels = options_.admission.metric_labels;
+  for (const IoStatsField& field : IoStatsFields()) {
+    metrics_->io.push_back(
+        metrics_->registry->GetCounter(field.name, field.help, labels));
+  }
+  for (const QueryStatsField& field : QueryStatsFields()) {
+    metrics_->query.push_back(
+        metrics_->registry->GetCounter(field.name, field.help, labels));
+  }
+  // Snapshot-style sources (sharded cache counters, the quarantine map,
+  // in-flight, trace rings) contribute through a collector instead of
+  // double-booking into counters.
+  metrics_->collector_id = metrics_->registry->AddCollector(
+      [this, labels](std::vector<MetricSample>* samples) {
+        auto add = [&](const char* name, const char* help, MetricKind kind,
+                       double value) {
+          MetricSample sample;
+          sample.name = name;
+          sample.help = help;
+          sample.kind = kind;
+          sample.labels = labels;
+          sample.value = value;
+          samples->push_back(std::move(sample));
+        };
+        const TreeIndex::CacheSnapshot cache = index_.CacheStats();
+        add("era_cache_hits_total", "Sub-tree cache hits",
+            MetricKind::kCounter, static_cast<double>(cache.hits));
+        add("era_cache_misses_total", "Sub-tree cache misses",
+            MetricKind::kCounter, static_cast<double>(cache.misses));
+        add("era_cache_evictions_total", "Sub-tree cache LRU evictions",
+            MetricKind::kCounter, static_cast<double>(cache.evictions));
+        add("era_cache_evicted_bytes_total",
+            "Bytes of sub-trees dropped by LRU evictions",
+            MetricKind::kCounter, static_cast<double>(cache.evicted_bytes));
+        add("era_cache_resident_bytes", "Resident sub-tree cache bytes",
+            MetricKind::kGauge, static_cast<double>(cache.resident_bytes));
+        add("era_cache_resident_trees", "Resident cached sub-trees",
+            MetricKind::kGauge, static_cast<double>(cache.resident_trees));
+        uint64_t quarantined = 0;
+        uint64_t failures = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          quarantined = quarantine_.size();
+          for (const auto& [id, count] : quarantine_) failures += count;
+        }
+        add("era_query_quarantined_subtrees",
+            "Sub-trees whose loads are currently failing",
+            MetricKind::kGauge, static_cast<double>(quarantined));
+        add("era_query_subtree_load_failures_total",
+            "Total failed sub-tree load attempts", MetricKind::kCounter,
+            static_cast<double>(failures));
+        add("era_serving_in_flight", "Queries currently executing",
+            MetricKind::kGauge, static_cast<double>(admission_.in_flight()));
+        if (tracer_ != nullptr) {
+          add("era_trace_started_total", "Traces started",
+              MetricKind::kCounter,
+              static_cast<double>(tracer_->traces_started()));
+          add("era_trace_completed_total", "Traces completed",
+              MetricKind::kCounter,
+              static_cast<double>(tracer_->traces_completed()));
+          add("era_trace_slow_total",
+              "Completed traces over the slow-query threshold",
+              MetricKind::kCounter,
+              static_cast<double>(tracer_->slow_traces()));
+        }
+      });
+}
+
+std::shared_ptr<Trace> QueryEngine::MaybeStartTrace(const char* label,
+                                                    const QueryContext& ctx) {
+  if (tracer_ == nullptr) return nullptr;
+  if (ctx.trace != nullptr) return nullptr;  // caller already traces this
+  const uint64_t tick = trace_tick_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t every = std::max<uint64_t>(1, options_.trace.sample_every);
+  if (tick % every != 0) return nullptr;
+  return tracer_->StartTrace(label, ctx.client_id);
 }
 
 StatusOr<std::unique_ptr<QueryEngine::Session>> QueryEngine::AcquireSession() {
@@ -92,9 +228,26 @@ StatusOr<std::unique_ptr<QueryEngine::Session>> QueryEngine::AcquireSession() {
 }
 
 void QueryEngine::ReleaseSession(std::unique_ptr<Session> session) {
+  if (metrics_ != nullptr) {
+    // Retirement is the fold point: hot loops tally into the session's
+    // plain structs contention-free, and one sharded-counter add per field
+    // per lease lands them in the registry.
+    const auto& io_fields = IoStatsFields();
+    for (std::size_t i = 0; i < io_fields.size(); ++i) {
+      const uint64_t value = session->io.*(io_fields[i].member);
+      if (value != 0) metrics_->io[i]->Increment(value);
+    }
+    const auto& query_fields = QueryStatsFields();
+    for (std::size_t i = 0; i < query_fields.size(); ++i) {
+      const uint64_t value = session->stats.*(query_fields[i].member);
+      if (value != 0) metrics_->query[i]->Increment(value);
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  io_.Add(session->io);
-  stats_.Add(session->stats);
+  if (metrics_ == nullptr) {
+    io_.Add(session->io);
+    stats_.Add(session->stats);
+  }
   session->io = IoStats{};
   session->stats = QueryStats{};
   if (pool_.size() < options_.max_pooled_sessions) {
@@ -103,11 +256,28 @@ void QueryEngine::ReleaseSession(std::unique_ptr<Session> session) {
 }
 
 IoStats QueryEngine::io() const {
+  if (metrics_ != nullptr) {
+    // Thin view: the registry counters are the source of truth.
+    IoStats io;
+    const auto& fields = IoStatsFields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      io.*(fields[i].member) = metrics_->io[i]->Value();
+    }
+    return io;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return io_;
 }
 
 QueryStats QueryEngine::stats() const {
+  if (metrics_ != nullptr) {
+    QueryStats stats;
+    const auto& fields = QueryStatsFields();
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      stats.*(fields[i].member) = metrics_->query[i]->Value();
+    }
+    return stats;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }
@@ -120,7 +290,15 @@ std::map<uint32_t, uint64_t> QueryEngine::quarantine() const {
 StatusOr<std::shared_ptr<const ServedSubTree>>
 QueryEngine::OpenSubTreeOrQuarantine(uint32_t id, Session* session,
                                      const QueryContext& ctx) {
+  // Checkpoint span: the open either splices the LRU (hit) or loads the
+  // sub-tree file from the device (miss); the note records which.
+  TraceSpan span(ctx.trace, "subtree_open");
+  const uint64_t hits_before = session->io.cache_hits;
   auto tree = index_.OpenSubTree(env_, id, &session->io, &ctx);
+  if (ctx.trace != nullptr) {
+    span.set_note(session->io.cache_hits > hits_before ? "cache_hit"
+                                                       : "cache_miss");
+  }
   if (tree.ok()) return tree;
   // A deadline or cancellation abandon says nothing about the file; pass it
   // through so an overloaded moment never poisons the quarantine map.
@@ -194,6 +372,7 @@ StatusOr<uint32_t> QueryEngine::FindChild(const ServedSubTree& tree,
 StatusOr<QueryEngine::SubTreeMatch> QueryEngine::MatchInSubTree(
     const ServedSubTree& tree, const QueryContext& ctx,
     const std::string& pattern, Session* session) {
+  TraceSpan span(ctx.trace, "match");
   SubTreeMatch result;
   uint32_t node = 0;
   std::size_t matched = 0;
@@ -285,6 +464,7 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
             auto tree,
             OpenSubTreeOrQuarantine(static_cast<uint32_t>(entry.subtree_id),
                                     session, ctx));
+        TraceSpan span(ctx.trace, "collect");
         ERA_RETURN_NOT_OK(
             tree->CollectLeaves(0, &ctx, collect_limit - hits.size(), &hits));
       } else {
@@ -304,6 +484,7 @@ StatusOr<std::vector<uint64_t>> QueryEngine::LocateWithSession(
     ERA_ASSIGN_OR_RETURN(SubTreeMatch match,
                          MatchInSubTree(*tree, ctx, pattern, session));
     if (match.matched) {
+      TraceSpan span(ctx.trace, "collect");
       ERA_RETURN_NOT_OK(
           tree->CollectLeaves(match.node, &ctx, collect_limit, &hits));
     }
@@ -327,8 +508,20 @@ StatusOr<uint64_t> QueryEngine::Count(const std::string& pattern) {
 
 StatusOr<uint64_t> QueryEngine::Count(const QueryContext& ctx,
                                       const std::string& pattern) {
+  auto trace = MaybeStartTrace("count", ctx);
+  if (trace == nullptr) return CountImpl(ctx, pattern);
+  QueryContext traced = ctx;
+  traced.trace = trace.get();
+  return FinishTraced(trace, CountImpl(traced, pattern));
+}
+
+StatusOr<uint64_t> QueryEngine::CountImpl(const QueryContext& ctx,
+                                          const std::string& pattern) {
   Permit permit;
-  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  {
+    TraceSpan span(ctx.trace, "admission");
+    ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  }
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   ReaderContextGuard guard(lease.get(), &ctx);
@@ -347,8 +540,21 @@ StatusOr<std::vector<uint64_t>> QueryEngine::Locate(const QueryContext& ctx,
                                                     const std::string& pattern,
                                                     std::size_t limit,
                                                     LocateOrder order) {
+  auto trace = MaybeStartTrace("locate", ctx);
+  if (trace == nullptr) return LocateImpl(ctx, pattern, limit, order);
+  QueryContext traced = ctx;
+  traced.trace = trace.get();
+  return FinishTraced(trace, LocateImpl(traced, pattern, limit, order));
+}
+
+StatusOr<std::vector<uint64_t>> QueryEngine::LocateImpl(
+    const QueryContext& ctx, const std::string& pattern, std::size_t limit,
+    LocateOrder order) {
   Permit permit;
-  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  {
+    TraceSpan span(ctx.trace, "admission");
+    ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  }
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   ReaderContextGuard guard(lease.get(), &ctx);
@@ -418,8 +624,20 @@ bool TerminatesBatch(const Status& status) {
 
 StatusOr<std::vector<CountOutcome>> QueryEngine::CountBatch(
     const QueryContext& ctx, const std::vector<std::string>& patterns) {
+  auto trace = MaybeStartTrace("count_batch", ctx);
+  if (trace == nullptr) return CountBatchImpl(ctx, patterns);
+  QueryContext traced = ctx;
+  traced.trace = trace.get();
+  return FinishTraced(trace, CountBatchImpl(traced, patterns));
+}
+
+StatusOr<std::vector<CountOutcome>> QueryEngine::CountBatchImpl(
+    const QueryContext& ctx, const std::vector<std::string>& patterns) {
   Permit permit;
-  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  {
+    TraceSpan span(ctx.trace, "admission");
+    ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  }
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   ReaderContextGuard guard(lease.get(), &ctx);
@@ -447,8 +665,21 @@ StatusOr<std::vector<CountOutcome>> QueryEngine::CountBatch(
 StatusOr<std::vector<LocateOutcome>> QueryEngine::LocateBatch(
     const QueryContext& ctx, const std::vector<std::string>& patterns,
     std::size_t limit) {
+  auto trace = MaybeStartTrace("locate_batch", ctx);
+  if (trace == nullptr) return LocateBatchImpl(ctx, patterns, limit);
+  QueryContext traced = ctx;
+  traced.trace = trace.get();
+  return FinishTraced(trace, LocateBatchImpl(traced, patterns, limit));
+}
+
+StatusOr<std::vector<LocateOutcome>> QueryEngine::LocateBatchImpl(
+    const QueryContext& ctx, const std::vector<std::string>& patterns,
+    std::size_t limit) {
   Permit permit;
-  ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  {
+    TraceSpan span(ctx.trace, "admission");
+    ERA_RETURN_NOT_OK(admission_.Admit(ctx, &permit));
+  }
   Lease lease;
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   ReaderContextGuard guard(lease.get(), &ctx);

@@ -28,12 +28,14 @@
 #ifndef ERA_QUERY_QUERY_ENGINE_H_
 #define ERA_QUERY_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/query_context.h"
 #include "common/status.h"
 #include "io/string_reader.h"
@@ -41,6 +43,18 @@
 #include "suffixtree/tree_index.h"
 
 namespace era {
+
+/// Per-engine tracing knobs (see common/metrics.h for the trace layer).
+struct QueryTraceOptions {
+  /// Master switch. Off (default) keeps every trace pointer null: the whole
+  /// span layer costs one pointer test per checkpoint.
+  bool enabled = false;
+  /// Trace every Nth top-level request (1 = all). Sampling is a per-engine
+  /// round-robin counter, so a steady workload traces a steady fraction.
+  uint64_t sample_every = 1;
+  /// Ring capacities and the slow-query threshold.
+  TraceRecorderOptions recorder;
+};
 
 /// Tuning for a serving engine.
 struct QueryEngineOptions {
@@ -53,6 +67,16 @@ struct QueryEngineOptions {
   /// Overload policy (disabled by default: everything admitted instantly,
   /// but Drain() still rejects new work while in-flight queries finish).
   AdmissionOptions admission;
+  /// Registry the engine's counters live in; null means
+  /// MetricsRegistry::Global(). Each engine registers its series under a
+  /// unique {engine="N"} label, so a fresh engine always starts from zero.
+  MetricsRegistry* registry = nullptr;
+  /// When false the engine keeps the original plain-struct aggregation and
+  /// registers nothing — the pre-registry hot path, kept so
+  /// bench_query_qps can measure (and guard) the registry's overhead.
+  bool metrics_enabled = true;
+  /// Per-request tracing (off by default).
+  QueryTraceOptions trace;
 };
 
 /// Aggregate query-path counters (device traffic is in IoStats; these count
@@ -79,6 +103,15 @@ struct QueryStats {
     unavailable_queries += other.unavailable_queries;
   }
 };
+
+/// QueryStats field table for the metrics registry (the IoStatsFields
+/// pattern; see io/io_stats.h).
+struct QueryStatsField {
+  const char* name;
+  const char* help;
+  uint64_t QueryStats::*member;
+};
+const std::vector<QueryStatsField>& QueryStatsFields();
 
 /// Per-item result of a context-aware batch. A batch stops mid-flight on
 /// deadline expiry or cancellation: items already answered keep their
@@ -115,6 +148,8 @@ class QueryEngine {
   static StatusOr<std::unique_ptr<QueryEngine>> Open(
       Env* env, const std::string& index_dir,
       const QueryEngineOptions& options = QueryEngineOptions{});
+
+  ~QueryEngine();
 
   /// Number of occurrences of `pattern` in the text. O(|P|) — answered from
   /// trie frequencies or the match node's subtree leaf count.
@@ -169,6 +204,8 @@ class QueryEngine {
 
   /// Snapshot of the serving-layer counters (admitted/queued/shed/...).
   ServingStats serving() const { return admission_.stats(); }
+  /// Trace recorder when tracing is enabled in the options, else null.
+  TraceRecorder* tracer() const { return tracer_.get(); }
   /// Graceful shutdown: sheds queued work, refuses new queries with
   /// ResourceExhausted (even through the context-free overloads), lets
   /// in-flight queries finish. Follow with admission().WaitIdle() to block
@@ -225,6 +262,26 @@ class QueryEngine {
         options_(options),
         admission_(options.admission) {}
 
+  /// Registers the engine's counter series and snapshot collector (cache,
+  /// quarantine, in-flight) under a unique {engine="N"} label, and creates
+  /// the trace recorder when tracing is enabled. Called once from Open.
+  void InitObservability();
+
+  /// Starts a sampled trace for one top-level request; null when tracing is
+  /// off or the sampler skips this request.
+  std::shared_ptr<Trace> MaybeStartTrace(const char* label,
+                                         const QueryContext& ctx);
+  /// Finishes `trace` (no-op when null) and passes `result` through.
+  template <typename T>
+  StatusOr<T> FinishTraced(const std::shared_ptr<Trace>& trace,
+                           StatusOr<T> result) {
+    if (trace != nullptr) {
+      tracer_->FinishTrace(trace,
+                           result.ok() ? Status::OK() : result.status());
+    }
+    return result;
+  }
+
   StatusOr<std::unique_ptr<Session>> AcquireSession();
   void ReleaseSession(std::unique_ptr<Session> session);
 
@@ -235,6 +292,20 @@ class QueryEngine {
   /// without quarantining.
   StatusOr<std::shared_ptr<const ServedSubTree>> OpenSubTreeOrQuarantine(
       uint32_t id, Session* session, const QueryContext& ctx);
+
+  /// Bodies of the public context-aware entry points (admission → lease →
+  /// per-session work). The public wrappers only add trace start/finish.
+  StatusOr<uint64_t> CountImpl(const QueryContext& ctx,
+                               const std::string& pattern);
+  StatusOr<std::vector<uint64_t>> LocateImpl(const QueryContext& ctx,
+                                             const std::string& pattern,
+                                             std::size_t limit,
+                                             LocateOrder order);
+  StatusOr<std::vector<CountOutcome>> CountBatchImpl(
+      const QueryContext& ctx, const std::vector<std::string>& patterns);
+  StatusOr<std::vector<LocateOutcome>> LocateBatchImpl(
+      const QueryContext& ctx, const std::vector<std::string>& patterns,
+      std::size_t limit);
 
   StatusOr<uint64_t> CountWithSession(Session* session,
                                       const QueryContext& ctx,
@@ -267,9 +338,25 @@ class QueryEngine {
 
   mutable std::mutex mu_;  // guards pool_ and the retired aggregates
   std::vector<std::unique_ptr<Session>> pool_;
+  /// Plain-struct aggregates, used only when metrics are disabled (the
+  /// pre-registry path bench_query_qps compares against).
   IoStats io_;
   QueryStats stats_;
   std::map<uint32_t, uint64_t> quarantine_;  // subtree id -> failed loads
+
+  /// Registry wiring (null when options_.metrics_enabled is false).
+  /// Counter vectors are index-aligned with IoStatsFields() /
+  /// QueryStatsFields(): ReleaseSession folds a retired session into them,
+  /// io()/stats() materialize the snapshot structs back out.
+  struct RegistryHooks {
+    MetricsRegistry* registry = nullptr;
+    std::vector<std::shared_ptr<Counter>> io;
+    std::vector<std::shared_ptr<Counter>> query;
+    uint64_t collector_id = 0;
+  };
+  std::unique_ptr<RegistryHooks> metrics_;
+  std::unique_ptr<TraceRecorder> tracer_;
+  std::atomic<uint64_t> trace_tick_{0};  // sampling counter
 };
 
 /// Collects the leaf ids under `node` in DFS (lexicographic) order, up to

@@ -4,6 +4,7 @@
 #include <random>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/timer.h"
 
 namespace era {
@@ -58,9 +59,20 @@ StatusOr<ReplayResult> ReplayWorkload(QueryEngine* engine,
   };
   std::vector<ThreadOutcome> outcomes(num_threads);
 
+  // Per-query latencies go into one shared histogram on the global registry
+  // (so a bench's --metrics-out export carries them); the replay's own
+  // percentiles come from the snapshot delta below, which keeps repeated
+  // replays in one process independent.
+  std::shared_ptr<Histogram> latency =
+      MetricsRegistry::Global()->GetHistogram(
+          "era_replay_query_latency_seconds",
+          "Per-query wall latency of workload replays");
+  const HistogramSnapshot before = latency->snapshot();
+
   auto worker = [&](unsigned t) {
     ThreadOutcome& out = outcomes[t];
     for (std::size_t i = t; i < patterns.size(); i += num_threads) {
+      WallTimer query_timer;
       if (i % locate_every == 0) {
         auto hits = engine->Locate(patterns[i], options.locate_limit);
         if (!hits.ok()) {
@@ -78,6 +90,7 @@ StatusOr<ReplayResult> ReplayWorkload(QueryEngine* engine,
         out.checksum += *count;
         ++out.counts;
       }
+      latency->Observe(query_timer.Seconds());
     }
   };
 
@@ -98,6 +111,18 @@ StatusOr<ReplayResult> ReplayWorkload(QueryEngine* engine,
   }
   result.queries = result.count_queries + result.locate_queries;
   result.qps = wall > 0 ? static_cast<double>(result.queries) / wall : 0;
+
+  HistogramSnapshot delta = latency->snapshot();
+  for (std::size_t i = 0; i < delta.counts.size(); ++i) {
+    delta.counts[i] -= before.counts[i];
+  }
+  delta.count -= before.count;
+  delta.sum -= before.sum;
+  if (delta.count > 0) {
+    result.p50_ms = delta.Quantile(0.5) * 1000.0;
+    result.p90_ms = delta.Quantile(0.9) * 1000.0;
+    result.p99_ms = delta.Quantile(0.99) * 1000.0;
+  }
   return result;
 }
 

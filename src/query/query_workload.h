@@ -49,6 +49,12 @@ struct ReplayResult {
   /// Sum of Count results plus located offsets modulo 2^64 — a checksum that
   /// must be identical for every thread count over the same workload.
   uint64_t occurrence_checksum = 0;
+  /// Per-query latency percentiles (milliseconds), estimated from the shared
+  /// era_replay_query_latency_seconds histogram on the global registry —
+  /// this replay's observations only (snapshot delta), not process lifetime.
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
 };
 
 /// Replays `patterns` against `engine` from `num_threads` threads. Thread t

@@ -40,6 +40,7 @@
 
 #include "collection/collection_builder.h"
 #include "collection/doc_engine.h"
+#include "common/metrics.h"
 #include "era/era_builder.h"
 #include "era/parallel_builder.h"
 #include "io/env.h"
@@ -70,12 +71,17 @@ int Usage() {
       "        --faults injects deterministic failures, e.g.\n"
       "        read_transient=0.01,enospc_after=64MB,seed=7)\n"
       "  era_cli query  <index-dir> <pattern> [--limit N] [--deadline-ms N]\n"
+      "                 [--metrics-out FILE] [--trace-out FILE]\n"
       "  era_cli stats  <index-dir>\n"
       "  era_cli inspect <index-dir>\n"
       "  era_cli verify <index-dir>\n"
       "  era_cli generate <out-file> <dna|protein|english> <bytes> [seed]\n"
       "  era_cli bench-query <index-dir> [--threads N] [--patterns N]\n"
-      "                 [--cache-mb N] [--seed S]\n"
+      "                 [--cache-mb N] [--seed S] [--metrics-out FILE]\n"
+      "                 [--trace-out FILE]\n"
+      "       (--metrics-out writes the registry snapshot: Prometheus text,\n"
+      "        or JSON when FILE ends in .json; --trace-out writes the last\n"
+      "        traces as chrome://tracing JSON)\n"
       "  era_cli build-collection <index-dir> [--alphabet dna|protein|\n"
       "                 english] [--budget-mb N] [--threads N] [--fasta]\n"
       "                 [--synthetic N] [--doc-bytes M] [--seed S]\n"
@@ -84,7 +90,8 @@ int Usage() {
       "        every file becomes a document; --synthetic N generates N\n"
       "        documents of ~M bytes)\n"
       "  era_cli doc-query <index-dir> <pattern> [--top K] [--doc NAME]\n"
-      "                 [--deadline-ms N]\n");
+      "                 [--deadline-ms N] [--metrics-out FILE]\n"
+      "                 [--trace-out FILE]\n");
   return 2;
 }
 
@@ -137,22 +144,79 @@ QueryContext ContextFromArgs(const std::vector<std::string>& args) {
   return QueryContext::WithTimeout(ms / 1000.0);
 }
 
-/// One line of serving-degradation counters, printed only when something
-/// actually degraded so the happy path stays clean.
-void PrintServingStats(const ServingStats& serving) {
-  if (serving.shed == 0 && serving.deadline_exceeded == 0 &&
-      serving.cancelled == 0 && serving.deadline_evicted == 0) {
-    return;
+/// Registry-backed degradation printer — the single place the CLI's failure
+/// paths (query, doc-query, bench-query) report serving state from. Snapshots
+/// the global registry; if any degradation counter is nonzero, prints every
+/// nonzero serving/doc-serving sample, so shed and quarantine and deadline
+/// counters all surface through one code path. Prints nothing on a healthy
+/// run, keeping the happy path clean.
+void PrintDegradation() {
+  static const char* const kTriggers[] = {
+      "era_serving_shed_total",
+      "era_serving_deadline_exceeded_total",
+      "era_serving_cancelled_total",
+      "era_serving_deadline_evicted_total",
+      "era_query_unavailable_queries_total",
+      "era_query_quarantined_subtrees",
+      "era_doc_unavailable_queries_total",
+      "era_doc_deadline_exceeded_total",
+      "era_doc_shed_total",
+  };
+  const std::vector<MetricSample> samples =
+      MetricsRegistry::Global()->Snapshot();
+  bool degraded = false;
+  for (const MetricSample& sample : samples) {
+    for (const char* name : kTriggers) {
+      if (sample.name == name && sample.value != 0) {
+        degraded = true;
+        break;
+      }
+    }
+    if (degraded) break;
   }
-  std::printf(
-      "serving: admitted=%llu queued=%llu shed=%llu deadline_exceeded=%llu "
-      "cancelled=%llu deadline_evicted=%llu\n",
-      static_cast<unsigned long long>(serving.admitted),
-      static_cast<unsigned long long>(serving.queued),
-      static_cast<unsigned long long>(serving.shed),
-      static_cast<unsigned long long>(serving.deadline_exceeded),
-      static_cast<unsigned long long>(serving.cancelled),
-      static_cast<unsigned long long>(serving.deadline_evicted));
+  if (!degraded) return;
+  std::printf("serving degradation (registry snapshot):\n");
+  for (const MetricSample& sample : samples) {
+    const bool relevant =
+        sample.name.rfind("era_serving_", 0) == 0 ||
+        sample.name.rfind("era_doc_", 0) == 0 ||
+        sample.name == "era_query_unavailable_queries_total" ||
+        sample.name == "era_query_quarantined_subtrees" ||
+        sample.name == "era_query_subtree_load_failures_total";
+    if (!relevant || sample.kind == MetricKind::kHistogram ||
+        sample.value == 0) {
+      continue;
+    }
+    const std::string labels = RenderLabels(sample.labels);
+    if (labels.empty()) {
+      std::printf("  %s %.0f\n", sample.name.c_str(), sample.value);
+    } else {
+      std::printf("  %s{%s} %.0f\n", sample.name.c_str(), labels.c_str(),
+                  sample.value);
+    }
+  }
+}
+
+/// Writes the global registry snapshot to `path`: JSON when the filename
+/// ends in .json, Prometheus text exposition otherwise. Empty path no-ops.
+Status WriteMetricsOut(const std::string& path) {
+  if (path.empty()) return Status::OK();
+  MetricsRegistry* registry = MetricsRegistry::Global();
+  const bool json = path.size() >= 5 &&
+                    path.compare(path.size() - 5, 5, ".json") == 0;
+  return GetDefaultEnv()->WriteFile(
+      path, json ? registry->ExportJson() : registry->ExportPrometheus());
+}
+
+/// Writes the engine's recent traces as chrome://tracing JSON. Empty path
+/// no-ops; a null tracer (tracing was not enabled) is an error because the
+/// caller explicitly asked for traces.
+Status WriteTraceOut(const std::string& path, TraceRecorder* tracer) {
+  if (path.empty()) return Status::OK();
+  if (tracer == nullptr) {
+    return Status::InvalidArgument("--trace-out requires tracing (internal)");
+  }
+  return GetDefaultEnv()->WriteFile(path, tracer->ExportChromeTracing());
 }
 
 int CmdBuild(const std::vector<std::string>& args) {
@@ -251,6 +315,8 @@ int CmdBuild(const std::vector<std::string>& args) {
   }
   if (!build_status.ok()) return Fail(build_status);
   std::printf("%s\n", stats.ToString().c_str());
+  const std::string phase_table = FormatPhaseTable(stats.phases);
+  if (!phase_table.empty()) std::printf("%s", phase_table.c_str());
   const uint64_t refills = stats.io.prefetch_hits + stats.io.prefetch_misses;
   std::printf(
       "io: amplification=%.2fx (%llu MB device reads / %llu MB text)\n"
@@ -275,21 +341,35 @@ int CmdBuild(const std::vector<std::string>& args) {
 
 int CmdQuery(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
-  auto engine = QueryEngine::Open(GetDefaultEnv(), args[0]);
+  const std::string metrics_out = FlagValue(args, "--metrics-out", "");
+  const std::string trace_out = FlagValue(args, "--trace-out", "");
+  QueryEngineOptions options;
+  options.trace.enabled = !trace_out.empty();
+  auto engine = QueryEngine::Open(GetDefaultEnv(), args[0], options);
   if (!engine.ok()) return Fail(engine.status());
   std::size_t limit = static_cast<std::size_t>(
       std::strtoull(FlagValue(args, "--limit", "10").c_str(), nullptr, 10));
   const QueryContext ctx = ContextFromArgs(args);
 
+  // Exports run on success AND failure: a shed or timed-out query is
+  // exactly when the operator wants the metrics file.
+  auto finish = [&](int code) {
+    if (Status s = WriteMetricsOut(metrics_out); !s.ok()) return Fail(s);
+    if (Status s = WriteTraceOut(trace_out, (*engine)->tracer()); !s.ok()) {
+      return Fail(s);
+    }
+    return code;
+  };
+
   auto count = (*engine)->Count(ctx, args[1]);
   if (!count.ok()) {
-    PrintServingStats((*engine)->serving());
-    return Fail(count.status());
+    PrintDegradation();
+    return finish(Fail(count.status()));
   }
   auto hits = (*engine)->Locate(ctx, args[1], limit);
   if (!hits.ok()) {
-    PrintServingStats((*engine)->serving());
-    return Fail(hits.status());
+    PrintDegradation();
+    return finish(Fail(hits.status()));
   }
   std::printf("%llu occurrence(s)", static_cast<unsigned long long>(*count));
   if (!hits->empty()) {
@@ -299,7 +379,7 @@ int CmdQuery(const std::vector<std::string>& args) {
     }
   }
   std::printf("\n");
-  return 0;
+  return finish(0);
 }
 
 int CmdStats(const std::vector<std::string>& args) {
@@ -404,10 +484,13 @@ int CmdBenchQuery(const std::vector<std::string>& args) {
   workload_options.seed = std::strtoull(
       FlagValue(args, "--seed", "42").c_str(), nullptr, 10);
 
+  const std::string metrics_out = FlagValue(args, "--metrics-out", "");
+  const std::string trace_out = FlagValue(args, "--trace-out", "");
   QueryEngineOptions engine_options;
   engine_options.cache.budget_bytes =
       std::strtoull(FlagValue(args, "--cache-mb", "64").c_str(), nullptr, 10)
       << 20;
+  engine_options.trace.enabled = !trace_out.empty();
 
   auto engine = QueryEngine::Open(env, args[0], engine_options);
   if (!engine.ok()) return Fail(engine.status());
@@ -423,7 +506,10 @@ int CmdBenchQuery(const std::vector<std::string>& args) {
 
   auto replay = ReplayWorkload(engine->get(), patterns, threads,
                                workload_options);
-  if (!replay.ok()) return Fail(replay.status());
+  if (!replay.ok()) {
+    PrintDegradation();
+    return Fail(replay.status());
+  }
 
   TreeIndex::CacheSnapshot cache = (*engine)->cache();
   const uint64_t lookups = cache.hits + cache.misses;
@@ -452,7 +538,13 @@ int CmdBenchQuery(const std::vector<std::string>& args) {
       static_cast<unsigned long long>(stats.leaves_enumerated),
       static_cast<unsigned long long>(stats.trie_resolved_counts),
       static_cast<unsigned long long>(replay->occurrence_checksum));
-  PrintServingStats((*engine)->serving());
+  std::printf("latency: p50=%.3fms p90=%.3fms p99=%.3fms\n", replay->p50_ms,
+              replay->p90_ms, replay->p99_ms);
+  PrintDegradation();
+  if (Status s = WriteMetricsOut(metrics_out); !s.ok()) return Fail(s);
+  if (Status s = WriteTraceOut(trace_out, (*engine)->tracer()); !s.ok()) {
+    return Fail(s);
+  }
   return 0;
 }
 
@@ -534,35 +626,38 @@ int CmdBuildCollection(const std::vector<std::string>& args) {
   return 0;
 }
 
-/// doc-query's failure path: the doc-level degradation counters plus the
-/// engine-level serving line, then the status-mapped exit code.
-int FailDocQuery(DocEngine& engine, const Status& status) {
-  const DocQueryStats stats = engine.doc_stats();
-  if (stats.unavailable_queries != 0 || stats.deadline_exceeded != 0 ||
-      stats.shed != 0) {
-    std::printf(
-        "doc-serving: unavailable=%llu deadline_exceeded=%llu shed=%llu "
-        "quarantined_subtrees=%zu\n",
-        static_cast<unsigned long long>(stats.unavailable_queries),
-        static_cast<unsigned long long>(stats.deadline_exceeded),
-        static_cast<unsigned long long>(stats.shed),
-        engine.quarantine().size());
-  }
-  PrintServingStats(engine.serving());
+/// doc-query's failure path: the unified registry-snapshot printer (doc and
+/// engine degradation counters flow through the same registry), then the
+/// status-mapped exit code.
+int FailDocQuery(const Status& status) {
+  PrintDegradation();
   return Fail(status);
 }
 
 int CmdDocQuery(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
-  auto engine = DocEngine::Open(GetDefaultEnv(), args[0]);
+  const std::string metrics_out = FlagValue(args, "--metrics-out", "");
+  const std::string trace_out = FlagValue(args, "--trace-out", "");
+  QueryEngineOptions options;
+  options.trace.enabled = !trace_out.empty();
+  auto engine = DocEngine::Open(GetDefaultEnv(), args[0], options);
   if (!engine.ok()) return Fail(engine.status());
   const std::string& pattern = args[1];
   const std::size_t top = static_cast<std::size_t>(
       std::strtoull(FlagValue(args, "--top", "5").c_str(), nullptr, 10));
   const QueryContext ctx = ContextFromArgs(args);
 
+  auto finish = [&](int code) {
+    if (Status s = WriteMetricsOut(metrics_out); !s.ok()) return Fail(s);
+    if (Status s = WriteTraceOut(trace_out, (*engine)->engine().tracer());
+        !s.ok()) {
+      return Fail(s);
+    }
+    return code;
+  };
+
   auto histogram = (*engine)->DocumentHistogram(ctx, pattern);
-  if (!histogram.ok()) return FailDocQuery(**engine, histogram.status());
+  if (!histogram.ok()) return finish(FailDocQuery(histogram.status()));
   uint64_t occurrences = 0;
   for (const DocHit& hit : *histogram) occurrences += hit.occurrences;
   std::printf("%zu of %u documents match (%llu occurrences)\n",
@@ -579,7 +674,7 @@ int CmdDocQuery(const std::vector<std::string>& args) {
     auto doc_id = (*engine)->documents().FindDocument(doc_name);
     if (!doc_id.ok()) return Fail(doc_id.status());
     auto local = (*engine)->LocateInDoc(ctx, pattern, *doc_id);
-    if (!local.ok()) return FailDocQuery(**engine, local.status());
+    if (!local.ok()) return finish(FailDocQuery(local.status()));
     std::printf("%s: %zu occurrence(s)", doc_name.c_str(), local->size());
     const std::size_t shown = std::min<std::size_t>(local->size(), 20);
     if (shown > 0) {
@@ -590,7 +685,7 @@ int CmdDocQuery(const std::vector<std::string>& args) {
     }
     std::printf("\n");
   }
-  return 0;
+  return finish(0);
 }
 
 int CmdGenerate(const std::vector<std::string>& args) {
