@@ -104,8 +104,11 @@ StatusOr<std::vector<DocHit>> DocEngine::HistogramWithStats(
     ClassifyFailure(located.status(), stats);
     return located.status();
   }
-  std::vector<uint64_t> offsets = std::move(*located);
+  return HistogramFromOffsets(*located, stats);
+}
 
+std::vector<DocHit> DocEngine::HistogramFromOffsets(
+    const std::vector<uint64_t>& offsets, DocQueryStats* stats) const {
   // Offsets ascend and document spans ascend, so grouping by document is a
   // single forward pass; Resolve's binary search only re-runs when an offset
   // leaves the current span.
@@ -252,6 +255,55 @@ StatusOr<std::vector<uint64_t>> DocEngine::CountDocsBatch(
   }
   FoldStats(stats);
   return counts;
+}
+
+StatusOr<std::vector<CountOutcome>> DocEngine::CountDocsDictionary(
+    const std::vector<std::string>& patterns) {
+  return CountDocsDictionary(QueryContext::Background(), patterns);
+}
+
+StatusOr<std::vector<CountOutcome>> DocEngine::CountDocsDictionary(
+    const QueryContext& ctx, const std::vector<std::string>& patterns) {
+  DocQueryStats stats;
+  std::vector<CountOutcome> outcomes(patterns.size());
+  // Per-item validation up front (the dictionary layer below only rejects
+  // empty patterns); only valid patterns enter the shared pass.
+  std::vector<std::string> valid;
+  std::vector<std::size_t> item_of;
+  valid.reserve(patterns.size());
+  item_of.reserve(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    Status v = ValidatePattern(patterns[i]);
+    if (!v.ok()) {
+      outcomes[i].status = v;
+      continue;
+    }
+    valid.push_back(patterns[i]);
+    item_of.push_back(i);
+  }
+  DictMatchOptions options;
+  options.locate = true;
+  auto dict = engine_->MatchDictionary(ctx, valid, options);
+  if (!dict.ok()) {
+    // The pass never ran (shed, or no reader session): propagate like the
+    // other batch entry points.
+    ClassifyFailure(dict.status(), &stats);
+    FoldStats(stats);
+    return dict.status();
+  }
+  for (std::size_t k = 0; k < dict->size(); ++k) {
+    CountOutcome& out = outcomes[item_of[k]];
+    const DictOutcome& item = (*dict)[k];
+    if (!item.status.ok()) {
+      out.status = item.status;
+      ClassifyFailure(item.status, &stats);
+      continue;
+    }
+    ++stats.queries;
+    out.count = HistogramFromOffsets(item.offsets, &stats).size();
+  }
+  FoldStats(stats);
+  return outcomes;
 }
 
 StatusOr<std::vector<std::vector<DocHit>>> DocEngine::TopKDocumentsBatch(

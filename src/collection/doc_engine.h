@@ -127,6 +127,20 @@ class DocEngine {
       const QueryContext& ctx, const std::vector<std::string>& patterns,
       std::size_t k);
 
+  /// Distinct-document counts (document frequency) for a whole dictionary
+  /// in one batched pass: patterns share descents and leaf enumeration
+  /// through QueryEngine::MatchDictionary — one sub-tree open and one leaf
+  /// pass per touched sub-tree, regardless of dictionary size — then each
+  /// pattern's ascending offsets fold through the DocumentMap with the
+  /// usual merge pass. Outcomes are index-aligned with `patterns` and
+  /// follow the per-item CountOutcome contract (`count` = distinct
+  /// documents containing the pattern); the outer status is non-OK only
+  /// when the batch never ran.
+  StatusOr<std::vector<CountOutcome>> CountDocsDictionary(
+      const std::vector<std::string>& patterns);
+  StatusOr<std::vector<CountOutcome>> CountDocsDictionary(
+      const QueryContext& ctx, const std::vector<std::string>& patterns);
+
   const DocumentMap& documents() const { return documents_; }
   /// The underlying pattern engine (plain Count/Locate over the combined
   /// text, cache snapshots, I/O counters).
@@ -157,6 +171,11 @@ class DocEngine {
   StatusOr<std::vector<DocHit>> HistogramWithStats(const QueryContext& ctx,
                                                    const std::string& pattern,
                                                    DocQueryStats* stats);
+
+  /// The merge pass itself (ascending global offsets -> per-document
+  /// histogram), shared by the single-pattern and dictionary paths.
+  std::vector<DocHit> HistogramFromOffsets(const std::vector<uint64_t>& offsets,
+                                           DocQueryStats* stats) const;
 
   void FoldStats(const DocQueryStats& stats);
 

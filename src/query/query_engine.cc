@@ -1,6 +1,7 @@
 #include "query/query_engine.h"
 
 #include <algorithm>
+#include <string_view>
 
 namespace era {
 
@@ -21,6 +22,18 @@ const std::vector<QueryStatsField>& QueryStatsFields() {
           {"era_query_unavailable_queries_total",
            "Queries answered Unavailable (sub-tree could not be loaded)",
            &QueryStats::unavailable_queries},
+          {"era_query_batch_duplicates_folded_total",
+           "Batch items answered by copying an identical earlier item",
+           &QueryStats::batch_duplicates_folded},
+          {"era_dict_groups_formed_total",
+           "Same-sub-tree pattern groups formed by MatchDictionary",
+           &QueryStats::dict_groups_formed},
+          {"era_dict_descents_shared_total",
+           "Tree edges walked once for a whole pattern range",
+           &QueryStats::dict_descents_shared},
+          {"era_dict_descents_saved_total",
+           "Edge walks avoided versus the per-pattern loop",
+           &QueryStats::dict_descents_saved},
       };
   return *fields;
 }
@@ -583,10 +596,21 @@ StatusOr<std::vector<uint64_t>> QueryEngine::CountBatch(
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   std::vector<uint64_t> counts;
   counts.reserve(patterns.size());
+  // Identical patterns are answered once: the first occurrence does the
+  // descent, duplicates copy its result (views into `patterns`, which
+  // outlives the loop).
+  std::map<std::string_view, uint64_t> memo;
   for (const std::string& pattern : patterns) {
+    auto it = memo.find(pattern);
+    if (it != memo.end()) {
+      ++lease.get()->stats.batch_duplicates_folded;
+      counts.push_back(it->second);
+      continue;
+    }
     ERA_ASSIGN_OR_RETURN(
         uint64_t count,
         CountWithSession(lease.get(), QueryContext::Background(), pattern));
+    memo.emplace(pattern, count);
     counts.push_back(count);
   }
   return counts;
@@ -600,11 +624,21 @@ StatusOr<std::vector<std::vector<uint64_t>>> QueryEngine::LocateBatch(
   ERA_RETURN_NOT_OK(lease.Acquire(this));
   std::vector<std::vector<uint64_t>> results;
   results.reserve(patterns.size());
+  // Duplicate folding: memo values index the first occurrence's result so
+  // repeated offset vectors copy instead of re-enumerating leaves.
+  std::map<std::string_view, std::size_t> memo;
   for (const std::string& pattern : patterns) {
+    auto it = memo.find(pattern);
+    if (it != memo.end()) {
+      ++lease.get()->stats.batch_duplicates_folded;
+      results.push_back(results[it->second]);
+      continue;
+    }
     ERA_ASSIGN_OR_RETURN(auto hits,
                          LocateWithSession(lease.get(),
                                            QueryContext::Background(), pattern,
                                            limit, LocateOrder::kSmallest));
+    memo.emplace(pattern, results.size());
     results.push_back(std::move(hits));
   }
   return results;
@@ -643,19 +677,34 @@ StatusOr<std::vector<CountOutcome>> QueryEngine::CountBatchImpl(
   ReaderContextGuard guard(lease.get(), &ctx);
   std::vector<CountOutcome> outcomes(patterns.size());
   Status terminal;
+  // Duplicate folding happens in original item order, AFTER the terminal
+  // check: a duplicate past the stop point is stamped like any other item,
+  // so the stamp-the-remainder contract is unchanged.
+  std::map<std::string_view, std::size_t> memo;
   for (std::size_t i = 0; i < patterns.size(); ++i) {
     if (!terminal.ok()) {
       outcomes[i].status = terminal;
       continue;
     }
+    auto it = memo.find(patterns[i]);
+    if (it != memo.end()) {
+      ++lease.get()->stats.batch_duplicates_folded;
+      outcomes[i] = outcomes[it->second];
+      continue;
+    }
     auto result = CountWithSession(lease.get(), ctx, patterns[i]);
     if (result.ok()) {
       outcomes[i].count = *result;
+      memo.emplace(patterns[i], i);
     } else {
       outcomes[i].status = result.status();
       if (TerminatesBatch(result.status())) {
         terminal = result.status();
         admission_.RecordOutcome(terminal);
+      } else {
+        // Per-item failures are deterministic for this batch; fold their
+        // duplicates too rather than re-failing the same way.
+        memo.emplace(patterns[i], i);
       }
     }
   }
@@ -685,20 +734,31 @@ StatusOr<std::vector<LocateOutcome>> QueryEngine::LocateBatchImpl(
   ReaderContextGuard guard(lease.get(), &ctx);
   std::vector<LocateOutcome> outcomes(patterns.size());
   Status terminal;
+  // Same in-order duplicate folding as CountBatchImpl.
+  std::map<std::string_view, std::size_t> memo;
   for (std::size_t i = 0; i < patterns.size(); ++i) {
     if (!terminal.ok()) {
       outcomes[i].status = terminal;
+      continue;
+    }
+    auto it = memo.find(patterns[i]);
+    if (it != memo.end()) {
+      ++lease.get()->stats.batch_duplicates_folded;
+      outcomes[i] = outcomes[it->second];
       continue;
     }
     auto result = LocateWithSession(lease.get(), ctx, patterns[i], limit,
                                     LocateOrder::kSmallest);
     if (result.ok()) {
       outcomes[i].offsets = std::move(*result);
+      memo.emplace(patterns[i], i);
     } else {
       outcomes[i].status = result.status();
       if (TerminatesBatch(result.status())) {
         terminal = result.status();
         admission_.RecordOutcome(terminal);
+      } else {
+        memo.emplace(patterns[i], i);
       }
     }
   }

@@ -82,7 +82,9 @@ struct QueryEngineOptions {
 /// Aggregate query-path counters (device traffic is in IoStats; these count
 /// tree work).
 struct QueryStats {
-  /// Completed Count/Locate/Contains calls (batch items count individually).
+  /// Completed Count/Locate/Contains calls (batch items count individually,
+  /// except duplicates folded from an earlier identical item — those count
+  /// only in batch_duplicates_folded).
   uint64_t queries = 0;
   /// Counts answered from the trie alone (no sub-tree open).
   uint64_t trie_resolved_counts = 0;
@@ -94,6 +96,18 @@ struct QueryStats {
   /// loaded (corrupt or unreadable after retries). The failure is per-query:
   /// patterns routed to healthy sub-trees keep succeeding.
   uint64_t unavailable_queries = 0;
+  /// Batch items answered by copying the outcome of an identical earlier
+  /// pattern in the same batch (no descent, no leaf work).
+  uint64_t batch_duplicates_folded = 0;
+  /// Same-sub-tree pattern groups formed by MatchDictionary (one sub-tree
+  /// open and one range descent per group).
+  uint64_t dict_groups_formed = 0;
+  /// Tree edges walked once on behalf of a whole pattern range during a
+  /// shared descent.
+  uint64_t dict_descents_shared = 0;
+  /// Edge walks avoided versus the per-pattern loop: for every shared edge,
+  /// (patterns entering the edge - 1).
+  uint64_t dict_descents_saved = 0;
 
   void Add(const QueryStats& other) {
     queries += other.queries;
@@ -101,6 +115,10 @@ struct QueryStats {
     nodes_visited += other.nodes_visited;
     leaves_enumerated += other.leaves_enumerated;
     unavailable_queries += other.unavailable_queries;
+    batch_duplicates_folded += other.batch_duplicates_folded;
+    dict_groups_formed += other.dict_groups_formed;
+    dict_descents_shared += other.dict_descents_shared;
+    dict_descents_saved += other.dict_descents_saved;
   }
 };
 
@@ -140,6 +158,27 @@ enum class LocateOrder {
   kArbitrary,
 };
 
+/// Knobs for MatchDictionary.
+struct DictMatchOptions {
+  /// When true every matched pattern also gets its occurrence offsets
+  /// (kSmallest semantics under locate_limit, like Locate). Leaf work is
+  /// shared: one enumeration pass per touched sub-tree resolves every
+  /// matched pattern routed there.
+  bool locate = false;
+  /// Per-pattern cap on returned offsets (locate mode only).
+  std::size_t locate_limit = SIZE_MAX;
+};
+
+/// Per-pattern result of MatchDictionary. `count` is the full occurrence
+/// count in both modes; `offsets` is filled only in locate mode (ascending,
+/// at most locate_limit entries, smallest first). Per-item and terminal
+/// statuses follow the CountOutcome batch contract.
+struct DictOutcome {
+  Status status;
+  uint64_t count = 0;
+  std::vector<uint64_t> offsets;
+};
+
 /// Read-side facade over an index directory.
 class QueryEngine {
  public:
@@ -172,7 +211,10 @@ class QueryEngine {
   StatusOr<bool> Contains(const QueryContext& ctx, const std::string& pattern);
 
   /// Batched variants: one leased reader session (and one admission permit)
-  /// serves the whole batch.
+  /// serves the whole batch. Identical patterns in a batch are answered
+  /// once and the result fanned back out to every duplicate (counted in
+  /// QueryStats::batch_duplicates_folded); items are still processed — and
+  /// terminal statuses stamped — in their original order.
   StatusOr<std::vector<uint64_t>> CountBatch(
       const std::vector<std::string>& patterns);
   StatusOr<std::vector<std::vector<uint64_t>>> LocateBatch(
@@ -187,6 +229,24 @@ class QueryEngine {
   StatusOr<std::vector<LocateOutcome>> LocateBatch(
       const QueryContext& ctx, const std::vector<std::string>& patterns,
       std::size_t limit = SIZE_MAX);
+
+  /// Shared-descent dictionary matching: answers the whole pattern set in
+  /// one batched pass. Patterns are deduplicated and sorted (memcmp order,
+  /// which is also the tree's child order), grouped by target sub-tree, and
+  /// each group descends the tree with a pattern-range cursor — every tree
+  /// edge is walked at most once per distinct shared prefix, and each
+  /// touched sub-tree is opened exactly once. Results are byte-identical to
+  /// running the per-pattern Count/Locate loop. Outcomes are index-aligned
+  /// with `patterns`; the outer status is only non-OK when the batch never
+  /// ran (CountOutcome contract). Deadline/cancel checkpoints sit at group
+  /// and node boundaries, and a terminal status stamps the item that hit
+  /// the boundary plus everything unresolved after it.
+  StatusOr<std::vector<DictOutcome>> MatchDictionary(
+      const std::vector<std::string>& patterns,
+      const DictMatchOptions& options = DictMatchOptions{});
+  StatusOr<std::vector<DictOutcome>> MatchDictionary(
+      const QueryContext& ctx, const std::vector<std::string>& patterns,
+      const DictMatchOptions& options = DictMatchOptions{});
 
   const TreeIndex& index() const { return index_; }
   /// Snapshot of the accumulated I/O of retired sessions (sub-tree loads,
@@ -216,6 +276,11 @@ class QueryEngine {
   AdmissionController& admission() { return admission_; }
 
  private:
+  /// The shared-descent dictionary matcher (query/dict_matcher.cc) runs
+  /// inside a leased session and shares the engine's private traversal
+  /// helpers (FindChild, OpenSubTreeOrQuarantine, LocateWithSession).
+  friend class DictMatcher;
+
   /// One pooled serving session: a private text reader plus the stat sinks
   /// it is bound to.
   struct Session {
@@ -306,6 +371,9 @@ class QueryEngine {
   StatusOr<std::vector<LocateOutcome>> LocateBatchImpl(
       const QueryContext& ctx, const std::vector<std::string>& patterns,
       std::size_t limit);
+  StatusOr<std::vector<DictOutcome>> MatchDictionaryImpl(
+      const QueryContext& ctx, const std::vector<std::string>& patterns,
+      const DictMatchOptions& options);
 
   StatusOr<uint64_t> CountWithSession(Session* session,
                                       const QueryContext& ctx,

@@ -39,6 +39,64 @@ std::vector<std::string> SamplePatternWorkload(
   return patterns;
 }
 
+std::vector<std::string> SampleDictionaryWorkload(
+    const std::string& text, const DictWorkloadOptions& options) {
+  std::vector<std::string> patterns;
+  if (text.size() < 2) return patterns;
+  const std::size_t body = text.size() - 1;  // keep the terminal out of windows
+  std::mt19937_64 rng(options.seed);
+  const std::size_t max_len =
+      std::min(options.max_len, body);
+  const std::size_t min_len =
+      std::min(std::max<std::size_t>(1, options.min_len), max_len);
+  const std::size_t prefix_len =
+      std::min(std::max<std::size_t>(1, options.prefix_len), max_len);
+
+  // Anchor positions: each group's patterns are text substrings STARTING at
+  // the group's anchor, so they all occur and all share the anchor's first
+  // prefix_len symbols — a shared root-to-locus descent of at least that
+  // depth.
+  const std::size_t num_groups = std::max<std::size_t>(1, options.num_prefix_groups);
+  std::vector<std::size_t> anchors(num_groups);
+  std::uniform_int_distribution<std::size_t> anchor_dist(0, body - max_len);
+  for (std::size_t& anchor : anchors) anchor = anchor_dist(rng);
+
+  std::uniform_int_distribution<std::size_t> len_dist(min_len, max_len);
+  std::uniform_int_distribution<std::size_t> group_dist(0, num_groups - 1);
+  std::uniform_real_distribution<double> coin(0, 1);
+  patterns.reserve(options.num_patterns);
+  for (std::size_t i = 0; i < options.num_patterns; ++i) {
+    const double roll = coin(rng);
+    if (!patterns.empty() && roll < options.duplicate_fraction) {
+      // Verbatim duplicate of an earlier pattern.
+      std::uniform_int_distribution<std::size_t> pick(0, patterns.size() - 1);
+      patterns.push_back(patterns[pick(rng)]);
+      continue;
+    }
+    const std::size_t len = std::max(len_dist(rng), prefix_len);
+    std::string pattern;
+    if (roll < options.duplicate_fraction + options.straggler_fraction) {
+      // Straggler: uniform position, no intentional prefix sharing.
+      std::uniform_int_distribution<std::size_t> pos_dist(0, body - len);
+      pattern = text.substr(pos_dist(rng), len);
+    } else {
+      pattern = text.substr(anchors[group_dist(rng)], len);
+    }
+    if (coin(rng) < options.mutant_fraction) {
+      // Flip the last symbol to another text symbol; most mutants miss, so
+      // the range descent exercises its peel-off paths.
+      std::uniform_int_distribution<std::size_t> pos_dist(0, body - 1);
+      char replacement = text[pos_dist(rng)];
+      if (replacement == pattern.back() && pattern.back() != 'x') {
+        replacement = 'x';
+      }
+      pattern.back() = replacement;
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
 StatusOr<ReplayResult> ReplayWorkload(QueryEngine* engine,
                                       const std::vector<std::string>& patterns,
                                       unsigned num_threads,

@@ -39,6 +39,38 @@ struct QueryWorkloadOptions {
 std::vector<std::string> SamplePatternWorkload(
     const std::string& text, const QueryWorkloadOptions& options);
 
+/// Shape knobs for a dictionary-matching workload (all deterministic in
+/// `seed`). The mix exercises everything MatchDictionary amortizes: heavy
+/// shared prefixes (patterns extending a small set of anchors, so groups
+/// share long descents), exact duplicates (the dedup layer), last-symbol
+/// mutants (mismatch peel-off inside shared edges), and uniform-random
+/// stragglers (cross-sub-tree groups with little sharing).
+struct DictWorkloadOptions {
+  std::size_t num_patterns = 10000;
+  /// Distinct anchor positions whose extensions form the shared-prefix bulk.
+  std::size_t num_prefix_groups = 32;
+  /// Length of the shared prefix each group's patterns have in common.
+  std::size_t prefix_len = 8;
+  /// Pattern lengths are uniform in [min_len, max_len] (>= prefix_len for
+  /// group members).
+  std::size_t min_len = 8;
+  std::size_t max_len = 24;
+  /// Fraction of patterns that verbatim-duplicate an earlier pattern.
+  double duplicate_fraction = 0.2;
+  /// Fraction mutated in their last symbol (mostly misses).
+  double mutant_fraction = 0.1;
+  /// Fraction sampled at uniform random positions (cross-sub-tree
+  /// stragglers outside the prefix groups).
+  double straggler_fraction = 0.05;
+  uint64_t seed = 42;
+};
+
+/// Samples a dictionary workload from `text` per `options`. Deterministic;
+/// the terminal byte is excluded from every sampling window. Benches and
+/// tests draw from this one generator so they race identical dictionaries.
+std::vector<std::string> SampleDictionaryWorkload(
+    const std::string& text, const DictWorkloadOptions& options);
+
 /// Outcome of one replay.
 struct ReplayResult {
   uint64_t queries = 0;

@@ -1,5 +1,6 @@
 #include "suffixtree/compressed_tree.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/query_context.h"
@@ -412,6 +413,103 @@ Status ServedSubTree::CollectLeaves(uint32_t slot, const QueryContext* ctx,
       out->push_back(c.leaf_id());
       --remaining;
       if (++appended >= limit) break;
+    }
+  }
+  return Status::OK();
+}
+
+Status ServedSubTree::CollectLeafSlices(const std::vector<uint32_t>& slots,
+                                        const QueryContext* ctx,
+                                        std::vector<uint64_t>* buffer,
+                                        std::vector<LeafSlice>* slices) const {
+  slices->assign(slots.size(), LeafSlice{});
+  if (slots.empty()) return Status::OK();
+
+  if (compressed_) {
+    // v3: each slot's leaves are the contiguous leaf-rank range
+    // [leaf_ref, leaf_ref + count). Laminar ranges sorted by start are
+    // either nested in the previous maximal run or start at/after its end,
+    // so one DecodeLeafRange per maximal run covers everything and nested
+    // requests alias into the run's decoded span.
+    struct Req {
+      uint64_t begin = 0;
+      uint64_t count = 0;
+      std::size_t idx = 0;
+    };
+    std::vector<Req> reqs(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const NodeView v = packed_.node(slots[i]);
+      reqs[i] = Req{v.leaf_ref, v.count, i};
+    }
+    std::sort(reqs.begin(), reqs.end(), [](const Req& a, const Req& b) {
+      if (a.begin != b.begin) return a.begin < b.begin;
+      return a.count > b.count;  // outermost first on shared starts
+    });
+    uint64_t run_begin = 0;
+    uint64_t run_end = 0;  // empty run sentinel: nothing nests in [0, 0)
+    std::size_t run_base = 0;
+    for (const Req& req : reqs) {
+      const bool nested = run_end > run_begin && req.begin >= run_begin &&
+                          req.begin + req.count <= run_end;
+      if (!nested) {
+        run_begin = req.begin;
+        run_end = req.begin + req.count;
+        run_base = buffer->size();
+        ERA_RETURN_NOT_OK(packed_.DecodeLeafRange(
+            req.begin, req.count, ctx, static_cast<std::size_t>(-1), buffer));
+      }
+      (*slices)[req.idx] =
+          LeafSlice{run_base + static_cast<std::size_t>(req.begin - run_begin),
+                    static_cast<std::size_t>(req.count)};
+    }
+    return Status::OK();
+  }
+
+  // Counted layout: a request's leaves are found by scanning forward from
+  // scan_begin (children_begin for internal nodes, the slot itself for a
+  // leaf) until its leaf budget is met. Requests sorted by scan_begin are
+  // activated as one merged forward scan reaches them — a nested request's
+  // leaves are a contiguous subrange of its ancestor's emission — and the
+  // scan jumps over the gap between disjoint requests instead of walking it.
+  struct Req {
+    uint32_t scan_begin = 0;
+    uint64_t budget = 0;
+    std::size_t idx = 0;
+  };
+  std::vector<Req> reqs(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const CountedNode& u = counted_.node(slots[i]);
+    reqs[i] = u.IsLeaf() ? Req{slots[i], 1, i}
+                         : Req{u.children_begin, u.LeafCount(), i};
+  }
+  std::sort(reqs.begin(), reqs.end(), [](const Req& a, const Req& b) {
+    if (a.scan_begin != b.scan_begin) return a.scan_begin < b.scan_begin;
+    return a.budget > b.budget;  // outermost first on shared starts
+  });
+  std::size_t r = 0;
+  uint64_t steps = 0;
+  while (r < reqs.size()) {
+    uint32_t pos = reqs[r].scan_begin;  // new maximal run starts here
+    std::size_t need_end = buffer->size();
+    while (true) {
+      while (r < reqs.size() && reqs[r].scan_begin == pos) {
+        (*slices)[reqs[r].idx] =
+            LeafSlice{buffer->size(), static_cast<std::size_t>(reqs[r].budget)};
+        const std::size_t end = buffer->size() +
+                                static_cast<std::size_t>(reqs[r].budget);
+        need_end = std::max(need_end, end);
+        ++r;
+      }
+      if (buffer->size() >= need_end) break;  // run satisfied; skip the gap
+      if (pos >= counted_.size()) {
+        return Status::Corruption("leaf slices exceed sub-tree");
+      }
+      if (ctx != nullptr && (steps++ % kCtxCheckStride) == 0) {
+        ERA_RETURN_NOT_OK(ctx->Check());
+      }
+      const CountedNode& c = counted_.node(pos);
+      if (c.IsLeaf()) buffer->push_back(c.leaf_id());
+      ++pos;
     }
   }
   return Status::OK();

@@ -140,6 +140,14 @@ class CompressedSubTree {
   uint32_t record_bits_ = 0;   // sum of the six field widths
 };
 
+/// One request's answer inside a shared leaf buffer: `buffer[offset,
+/// offset + count)` are the suffix offsets of the leaves under the
+/// requested slot, in slot order.
+struct LeafSlice {
+  std::size_t offset = 0;
+  std::size_t count = 0;
+};
+
 /// What TreeIndex caches and the query path walks: either a CountedTree
 /// (v1/v2 files) or a CompressedSubTree (v3 files), behind one NodeView
 /// cursor API so MatchInSubTree/CollectLeaves never branch on format except
@@ -179,6 +187,21 @@ class ServedSubTree {
   /// (slot order), stopping after `limit` appended values. `ctx` nullable.
   Status CollectLeaves(uint32_t slot, const QueryContext* ctx,
                        std::size_t limit, std::vector<uint64_t>* out) const;
+
+  /// Batched leaf enumeration: resolves every slot in `slots` in ONE pass
+  /// over the tree's leaf storage instead of one CollectLeaves per slot.
+  /// Appends leaves to `buffer` and fills `slices` (index-aligned with
+  /// `slots`; offsets are absolute indices into `buffer`). Exploits the
+  /// laminar-family property of match loci — two slots' leaf ranges are
+  /// nested or disjoint, never partially overlapping — so nested requests
+  /// alias one decoded run (v3: merged restart-block decodes; v2: one
+  /// forward descendant scan per maximal run, skipping the gaps between
+  /// disjoint requests). Duplicate slots are fine and share a slice.
+  /// `ctx` (nullable) is checked periodically.
+  Status CollectLeafSlices(const std::vector<uint32_t>& slots,
+                           const QueryContext* ctx,
+                           std::vector<uint64_t>* buffer,
+                           std::vector<LeafSlice>* slices) const;
 
   /// Counted form (inflates v3; cheap reference for v1/v2).
   StatusOr<CountedTree> Inflate() const;

@@ -26,6 +26,9 @@
 //                  [--threads N] [--fasta] [--synthetic N] [--doc-bytes M]
 //                  [--seed S] [doc-file ...]   (generalized index + DOCMAP)
 //   era_cli doc-query <index-dir> <pattern> [--top K] [--doc NAME]
+//   era_cli dict-query <index-dir> --patterns FILE [--top K] [--doc]
+//                  [--deadline-ms N]   (batched dictionary matching; --doc
+//                  counts distinct documents per pattern)
 //
 // The text file must be raw symbols; a trailing terminal byte ('~') is
 // appended if missing.
@@ -91,7 +94,13 @@ int Usage() {
       "        documents of ~M bytes)\n"
       "  era_cli doc-query <index-dir> <pattern> [--top K] [--doc NAME]\n"
       "                 [--deadline-ms N] [--metrics-out FILE]\n"
-      "                 [--trace-out FILE]\n");
+      "                 [--trace-out FILE]\n"
+      "  era_cli dict-query <index-dir> --patterns FILE [--top K] [--doc]\n"
+      "                 [--deadline-ms N] [--metrics-out FILE]\n"
+      "                 [--trace-out FILE]\n"
+      "       (FILE holds one pattern per line; the whole set is answered\n"
+      "        in one shared-descent pass. --doc reports distinct matching\n"
+      "        documents per pattern instead of occurrence counts)\n");
   return 2;
 }
 
@@ -688,6 +697,144 @@ int CmdDocQuery(const std::vector<std::string>& args) {
   return finish(0);
 }
 
+int CmdDictQuery(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Env* env = GetDefaultEnv();
+  const std::string patterns_file = FlagValue(args, "--patterns", "");
+  if (patterns_file.empty()) {
+    std::fprintf(stderr, "dict-query needs --patterns FILE\n");
+    return Usage();
+  }
+  const std::string metrics_out = FlagValue(args, "--metrics-out", "");
+  const std::string trace_out = FlagValue(args, "--trace-out", "");
+  const std::size_t top = static_cast<std::size_t>(
+      std::strtoull(FlagValue(args, "--top", "5").c_str(), nullptr, 10));
+  const bool doc_mode = HasFlag(args, "--doc");
+  const QueryContext ctx = ContextFromArgs(args);
+
+  // One pattern per line; blank lines (and trailing \r) are skipped so both
+  // Unix and DOS files work.
+  std::string blob;
+  if (Status s = env->ReadFileToString(patterns_file, &blob); !s.ok()) {
+    return Fail(s);
+  }
+  std::vector<std::string> patterns;
+  for (std::size_t start = 0; start < blob.size();) {
+    std::size_t end = blob.find('\n', start);
+    if (end == std::string::npos) end = blob.size();
+    std::string line = blob.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) patterns.push_back(std::move(line));
+    start = end + 1;
+  }
+  blob.clear();
+  if (patterns.empty()) {
+    std::fprintf(stderr, "no patterns in %s\n", patterns_file.c_str());
+    return 2;
+  }
+
+  QueryEngineOptions options;
+  options.trace.enabled = !trace_out.empty();
+  std::unique_ptr<DocEngine> doc_engine;
+  std::unique_ptr<QueryEngine> plain_engine;
+  QueryEngine* engine = nullptr;
+  if (doc_mode) {
+    auto opened = DocEngine::Open(env, args[0], options);
+    if (!opened.ok()) return Fail(opened.status());
+    doc_engine = std::move(*opened);
+    engine = &doc_engine->engine();
+  } else {
+    auto opened = QueryEngine::Open(env, args[0], options);
+    if (!opened.ok()) return Fail(opened.status());
+    plain_engine = std::move(*opened);
+    engine = plain_engine.get();
+  }
+
+  auto finish = [&](int code) {
+    if (Status s = WriteMetricsOut(metrics_out); !s.ok()) return Fail(s);
+    if (Status s = WriteTraceOut(trace_out, engine->tracer()); !s.ok()) {
+      return Fail(s);
+    }
+    return code;
+  };
+
+  // Per-item statuses and counts, unified across the two modes.
+  std::vector<Status> statuses(patterns.size(), Status::OK());
+  std::vector<uint64_t> counts(patterns.size(), 0);
+  if (doc_mode) {
+    auto outcomes = doc_engine->CountDocsDictionary(ctx, patterns);
+    if (!outcomes.ok()) {
+      PrintDegradation();
+      return finish(Fail(outcomes.status()));
+    }
+    for (std::size_t i = 0; i < outcomes->size(); ++i) {
+      statuses[i] = (*outcomes)[i].status;
+      counts[i] = (*outcomes)[i].count;
+    }
+  } else {
+    auto outcomes = engine->MatchDictionary(ctx, patterns);
+    if (!outcomes.ok()) {
+      PrintDegradation();
+      return finish(Fail(outcomes.status()));
+    }
+    for (std::size_t i = 0; i < outcomes->size(); ++i) {
+      statuses[i] = (*outcomes)[i].status;
+      counts[i] = (*outcomes)[i].count;
+    }
+  }
+
+  std::size_t answered = 0, matched = 0, failed = 0;
+  uint64_t total = 0;
+  const Status* terminal = nullptr;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (statuses[i].ok()) {
+      ++answered;
+      if (counts[i] > 0) ++matched;
+      total += counts[i];
+    } else {
+      ++failed;
+      if (terminal == nullptr && (statuses[i].IsDeadlineExceeded() ||
+                                  statuses[i].IsCancelled())) {
+        terminal = &statuses[i];
+      }
+    }
+  }
+  std::printf("%zu pattern(s): %zu answered, %zu matched, %zu failed; "
+              "total %s=%llu\n",
+              patterns.size(), answered, matched, failed,
+              doc_mode ? "matching_docs" : "occurrences",
+              static_cast<unsigned long long>(total));
+  if (top > 0 && matched > 0) {
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      if (statuses[i].ok() && counts[i] > 0) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (counts[a] != counts[b]) return counts[a] > counts[b];
+                return patterns[a] < patterns[b];
+              });
+    if (order.size() > top) order.resize(top);
+    std::printf("top %zu:\n", order.size());
+    for (std::size_t i : order) {
+      std::printf("  %-40s %llu\n", patterns[i].c_str(),
+                  static_cast<unsigned long long>(counts[i]));
+    }
+  }
+  const QueryStats stats = engine->stats();
+  std::printf("dict: groups=%llu shared_descents=%llu descents_saved=%llu "
+              "duplicates_folded=%llu\n",
+              static_cast<unsigned long long>(stats.dict_groups_formed),
+              static_cast<unsigned long long>(stats.dict_descents_shared),
+              static_cast<unsigned long long>(stats.dict_descents_saved),
+              static_cast<unsigned long long>(stats.batch_duplicates_folded));
+  PrintDegradation();
+  // A mid-dictionary deadline/cancellation is reported with the same exit
+  // codes as a single query that hit it (4/5), after the partial results.
+  if (terminal != nullptr) return finish(Fail(*terminal));
+  return finish(0);
+}
+
 int CmdGenerate(const std::vector<std::string>& args) {
   if (args.size() < 3) return Usage();
   uint64_t bytes = std::strtoull(args[2].c_str(), nullptr, 10);
@@ -728,5 +875,6 @@ int main(int argc, char** argv) {
   if (command == "bench-query") return era::CmdBenchQuery(args);
   if (command == "build-collection") return era::CmdBuildCollection(args);
   if (command == "doc-query") return era::CmdDocQuery(args);
+  if (command == "dict-query") return era::CmdDictQuery(args);
   return era::Usage();
 }
